@@ -1,0 +1,450 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Figures are
+// regenerated as reported metrics:
+//
+//	go test -bench=. -benchmem
+//
+// The metric names mirror the paper's columns (channels, states,
+// transitions, products, literals); EXPERIMENTS.md records the side-by-side
+// comparison with the published numbers.
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/diffeq"
+	"repro/internal/explore"
+	"repro/internal/extract"
+	"repro/internal/fir"
+	"repro/internal/gcd"
+	"repro/internal/local"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/timing"
+	"repro/internal/transform"
+)
+
+// --- Figure 1: the unoptimized CDFG (constraint-arc generation) ----------
+
+func BenchmarkFig1CDFGConstruction(b *testing.B) {
+	var g *cdfg.Graph
+	for i := 0; i < b.N; i++ {
+		g = diffeq.Build(diffeq.DefaultParams())
+	}
+	b.ReportMetric(float64(len(g.Nodes())), "nodes")
+	b.ReportMetric(float64(len(g.Arcs())), "arcs")
+	b.ReportMetric(float64(len(g.InterFUArcs(false))), "channels")
+}
+
+// --- Figure 3: GT1 loop parallelism + GT2 dominated-constraint removal ---
+
+func BenchmarkFig3LoopParallelism(b *testing.B) {
+	var backward int
+	for i := 0; i < b.N; i++ {
+		g := diffeq.Build(diffeq.DefaultParams())
+		if _, err := transform.LoopParallelism(g); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := transform.RemoveDominated(g); err != nil {
+			b.Fatal(err)
+		}
+		backward = 0
+		for _, a := range g.Arcs() {
+			if a.Kind == cdfg.ArcBackward {
+				backward++
+			}
+		}
+	}
+	b.ReportMetric(float64(backward), "backward-arcs") // paper: 2 (arcs 8 and 9)
+}
+
+// --- Figure 4: GT3 relative timing + GT4 assignment merging --------------
+
+func BenchmarkFig4RelativeTimingAndMerge(b *testing.B) {
+	var nodes int
+	for i := 0; i < b.N; i++ {
+		g := diffeq.Build(diffeq.DefaultParams())
+		mustGT(b, g, transform.LoopParallelism)
+		mustGT(b, g, transform.RemoveDominated)
+		if _, err := transform.RelativeTiming(g, timing.DefaultModel(), 3); err != nil {
+			b.Fatal(err)
+		}
+		mustGT(b, g, transform.MergeAssignments)
+		nodes = len(g.Nodes())
+	}
+	b.ReportMetric(float64(nodes), "nodes") // one fewer after the Y/X1 merge
+}
+
+func mustGT(b *testing.B, g *cdfg.Graph, f func(*cdfg.Graph) (*transform.Report, error)) {
+	b.Helper()
+	if _, err := f(g); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- Figure 5: GT5 channel elimination (10 → 5, two multi-way) -----------
+
+func BenchmarkFig5ChannelElimination(b *testing.B) {
+	var before, after, multiway int
+	for i := 0; i < b.N; i++ {
+		g := diffeq.Build(diffeq.DefaultParams())
+		opts := transform.DefaultOptions()
+		opts.SkipGT5 = true
+		plan, _, err := transform.OptimizeGT(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		before = plan.Count()
+		plan.Eliminate()
+		after = plan.Count()
+		multiway = plan.MultiwayCount()
+	}
+	b.ReportMetric(float64(before), "channels-before") // paper: 10
+	b.ReportMetric(float64(after), "channels-after")   // paper: 5
+	b.ReportMetric(float64(multiway), "multiway")      // paper: 2
+}
+
+// --- Figures 10/11: burst-mode controller extraction ---------------------
+
+func BenchmarkFig10Extraction(b *testing.B) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	plan, _, err := transform.OptimizeGT(g, transform.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *extract.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = extract.Extract(g, plan, extract.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	total := 0
+	for _, m := range res.Machines {
+		total += m.NumStates()
+	}
+	b.ReportMetric(float64(total), "total-states")
+}
+
+// --- Figure 12: state machine comparison ---------------------------------
+
+var fig12Once sync.Once
+
+func BenchmarkFig12StateMachines(b *testing.B) {
+	levels := []core.Level{core.Unoptimized, core.OptimizedGT, core.OptimizedGTLT}
+	var rows []core.Row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, level := range levels {
+			opt := core.DefaultOptions()
+			opt.Level = level
+			s, err := core.Run(diffeq.Build(diffeq.DefaultParams()), opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, s.Fig12Row())
+		}
+	}
+	fig12Once.Do(func() {
+		fmt.Printf("\n--- Figure 12 (this implementation) ---\n%s", core.FormatFig12(diffeq.FUs, rows))
+		var paper []core.Row
+		for _, r := range diffeq.PaperFig12 {
+			paper = append(paper, core.Row{Name: r.Name, Channels: r.Channels, States: r.States, Transitions: r.Transitions})
+		}
+		fmt.Printf("--- Figure 12 (paper) ---\n%s\n", core.FormatFig12(diffeq.FUs, paper))
+	})
+	for i, level := range levels {
+		st, tr := 0, 0
+		for _, fu := range diffeq.FUs {
+			st += rows[i].States[fu]
+			tr += rows[i].Transitions[fu]
+		}
+		b.ReportMetric(float64(rows[i].Channels), fmt.Sprintf("channels-%s", level))
+		b.ReportMetric(float64(st), fmt.Sprintf("states-%s", level))
+		b.ReportMetric(float64(tr), fmt.Sprintf("transitions-%s", level))
+	}
+}
+
+// --- Figure 13: gate-level comparison -------------------------------------
+
+var fig13Once sync.Once
+
+func BenchmarkFig13GateLevel(b *testing.B) {
+	var results map[string]*synth.Result
+	for i := 0; i < b.N; i++ {
+		s, err := core.Run(diffeq.Build(diffeq.DefaultParams()), core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		results, err = s.SynthesizeLogic()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	fig13Once.Do(func() {
+		fmt.Printf("\n--- Figure 13 (this implementation) ---\n%s", core.FormatFig13(diffeq.FUs, results))
+		yp, yl := diffeq.GateTotals(diffeq.PaperFig13Yun)
+		op, ol := diffeq.GateTotals(diffeq.PaperFig13Ours)
+		fmt.Printf("--- Figure 13 (published) ---\nYun (manual) total: %d products, %d literals\npaper's flow total: %d products, %d literals\n\n", yp, yl, op, ol)
+	})
+	totP, totL := 0, 0
+	for _, r := range results {
+		totP += r.Products
+		totL += r.Literals
+	}
+	b.ReportMetric(float64(totP), "products")
+	b.ReportMetric(float64(totL), "literals")
+}
+
+// --- Loop-parallelism performance series (GT1's effect, token level) -----
+
+func BenchmarkLoopParallelismSpeedup(b *testing.B) {
+	delays := func() sim.Delays {
+		return sim.PerFUDelays(map[string]float64{
+			"MUL1": 40, "MUL2": 40, "ALU1": 10, "ALU2": 10,
+		}, 2, 1)
+	}
+	var base, opt float64
+	for i := 0; i < b.N; i++ {
+		g := diffeq.Build(diffeq.DefaultParams())
+		res, err := sim.NewTokenSim(g, delays()).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		base = res.FinishTime
+		g2 := diffeq.Build(diffeq.DefaultParams())
+		mustGT(b, g2, transform.LoopParallelism)
+		mustGT(b, g2, transform.RemoveDominated)
+		res2, err := sim.NewTokenSim(g2, delays()).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt = res2.FinishTime
+	}
+	b.ReportMetric(base, "makespan-sync")
+	b.ReportMetric(opt, "makespan-overlapped")
+	b.ReportMetric(base/opt, "speedup")
+}
+
+// --- Controller-level simulation throughput -------------------------------
+
+func benchSimulate(b *testing.B, level core.Level) {
+	opt := core.DefaultOptions()
+	opt.Level = level
+	s, err := core.Run(diffeq.Build(diffeq.DefaultParams()), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Simulate(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events")
+}
+
+func BenchmarkSimulateUnoptimized(b *testing.B) { benchSimulate(b, core.Unoptimized) }
+func BenchmarkSimulateGT(b *testing.B)          { benchSimulate(b, core.OptimizedGT) }
+func BenchmarkSimulateGTLT(b *testing.B)        { benchSimulate(b, core.OptimizedGTLT) }
+
+// --- Ablations: each transform's contribution to the channel count -------
+
+func benchAblation(b *testing.B, mutate func(*transform.Options)) {
+	var channels int
+	for i := 0; i < b.N; i++ {
+		g := diffeq.Build(diffeq.DefaultParams())
+		opts := transform.DefaultOptions()
+		mutate(&opts)
+		plan, _, err := transform.OptimizeGT(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		channels = plan.Count()
+	}
+	b.ReportMetric(float64(channels), "channels")
+}
+
+func BenchmarkAblationNoGT1(b *testing.B) {
+	benchAblation(b, func(o *transform.Options) { o.SkipGT1 = true })
+}
+func BenchmarkAblationNoGT2(b *testing.B) {
+	benchAblation(b, func(o *transform.Options) { o.SkipGT2 = true })
+}
+func BenchmarkAblationNoGT3(b *testing.B) {
+	benchAblation(b, func(o *transform.Options) { o.SkipGT3 = true })
+}
+func BenchmarkAblationNoGT4(b *testing.B) {
+	benchAblation(b, func(o *transform.Options) { o.SkipGT4 = true })
+}
+func BenchmarkAblationNoGT5(b *testing.B) {
+	benchAblation(b, func(o *transform.Options) { o.SkipGT5 = true })
+}
+func BenchmarkAblationAllGT(b *testing.B) { benchAblation(b, func(o *transform.Options) {}) }
+
+// --- Hazard-free minimization vs plain two-level (the hfmin substrate) ---
+
+func BenchmarkHazardFreeMinimization(b *testing.B) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	plan, _, err := transform.OptimizeGT(g, transform.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := extract.Extract(g, plan, extract.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := ex.Machines[diffeq.MUL2]
+	if _, err := local.Optimize(m); err != nil {
+		b.Fatal(err)
+	}
+	var products int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := synth.Synthesize(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		products = r.Products
+	}
+	b.ReportMetric(float64(products), "products")
+}
+
+// --- Second benchmark: GCD end to end -------------------------------------
+
+func BenchmarkGCDFullFlow(b *testing.B) {
+	var channels, states int
+	for i := 0; i < b.N; i++ {
+		s, err := core.Run(gcd.Build(123, 45), core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		channels = s.Channels()
+		states = 0
+		for _, m := range s.Machines {
+			states += m.NumStates()
+		}
+	}
+	b.ReportMetric(float64(channels), "channels")
+	b.ReportMetric(float64(states), "states")
+}
+
+// --- Third benchmark: FIR filter end to end --------------------------------
+
+func BenchmarkFIRFullFlow(b *testing.B) {
+	var channels int
+	for i := 0; i < b.N; i++ {
+		s, err := core.Run(fir.Build(fir.DefaultParams()), core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		channels = s.Channels()
+	}
+	b.ReportMetric(float64(channels), "channels")
+}
+
+// --- Design-space exploration sweep ---------------------------------------
+
+func BenchmarkExploreSweep(b *testing.B) {
+	var n int
+	for i := 0; i < b.N; i++ {
+		g := diffeq.Build(diffeq.DefaultParams())
+		scores := explore.Sweep(g, explore.AllVariants())
+		n = len(explore.Pareto(scores))
+	}
+	b.ReportMetric(float64(n), "pareto-points")
+}
+
+// --- Gate-level closure: the synthesized logic as the controllers --------
+
+func BenchmarkGateLevelSimulation(b *testing.B) {
+	s, err := core.Run(diffeq.Build(diffeq.DefaultParams()), core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	results, err := s.SynthesizeLogic()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.GateSimulate(results, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events")
+}
+
+// --- Delay-ratio series: loop-parallelism speedup vs multiplier latency ---
+//
+// The paper motivates loop parallelism by slow functional units; this
+// series sweeps the multiplier/ALU latency ratio and reports the
+// overlapped-vs-synchronized makespan ratio at each point (the series a
+// performance figure would plot).
+func BenchmarkSpeedupVsMulLatency(b *testing.B) {
+	ratios := []float64{1, 2, 4, 8}
+	speedups := make([]float64, len(ratios))
+	for i := 0; i < b.N; i++ {
+		for ri, ratio := range ratios {
+			delays := func() sim.Delays {
+				return sim.PerFUDelays(map[string]float64{
+					"MUL1": 10 * ratio, "MUL2": 10 * ratio, "ALU1": 10, "ALU2": 10,
+				}, 2, 1)
+			}
+			g := diffeq.Build(diffeq.DefaultParams())
+			base, err := sim.NewTokenSim(g, delays()).Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			g2 := diffeq.Build(diffeq.DefaultParams())
+			mustGT(b, g2, transform.LoopParallelism)
+			mustGT(b, g2, transform.RemoveDominated)
+			opt, err := sim.NewTokenSim(g2, delays()).Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			speedups[ri] = base.FinishTime / opt.FinishTime
+		}
+	}
+	for ri, ratio := range ratios {
+		b.ReportMetric(speedups[ri], fmt.Sprintf("speedup-mul%gx", ratio))
+	}
+}
+
+// --- Controller-level completion time per optimization level --------------
+//
+// The paper's transforms target performance as well as area; this bench
+// reports the controller-level completion time of the DIFFEQ run at each
+// level under one delay model.
+func BenchmarkMakespanByLevel(b *testing.B) {
+	times := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, level := range []core.Level{core.Unoptimized, core.OptimizedGT, core.OptimizedGTLT} {
+			opt := core.DefaultOptions()
+			opt.Level = level
+			s, err := core.Run(diffeq.Build(diffeq.DefaultParams()), opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := s.Simulate(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			times[level.String()] = res.FinishTime
+		}
+	}
+	for name, tm := range times {
+		b.ReportMetric(tm, "t-"+name)
+	}
+}

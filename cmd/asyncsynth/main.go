@@ -1,0 +1,400 @@
+// Command asyncsynth runs the asynchronous distributed control synthesis
+// flow on the built-in benchmarks and regenerates the paper's evaluation
+// artifacts.
+//
+// Usage:
+//
+//	asyncsynth report fig12        state-machine comparison (Figure 12)
+//	asyncsynth report fig13        gate-level comparison (Figure 13)
+//	asyncsynth report fig5         channel elimination (Figure 5)
+//	asyncsynth describe [bench]    print the CDFG
+//	asyncsynth transform [bench]   apply GT1–GT5 and show the trace
+//	asyncsynth extract [bench]     print the extracted controllers
+//	asyncsynth simulate [bench]    run the controller-level simulation
+//	asyncsynth explore [bench]     design-space exploration sweep
+//	asyncsynth dot cdfg|afsm [bench] [-level L]   Graphviz output
+//
+// Benchmarks: diffeq (default), gcd, fir.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/diffeq"
+	"repro/internal/explore"
+	"repro/internal/fir"
+	"repro/internal/gcd"
+	"repro/internal/synth"
+	"repro/internal/transform"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "report":
+		err = report(args)
+	case "describe":
+		err = describe(args)
+	case "transform":
+		err = doTransform(args)
+	case "extract":
+		err = doExtract(args)
+	case "simulate":
+		err = simulate(args)
+	case "explore":
+		err = doExplore(args)
+	case "synth":
+		err = doSynth(args)
+	case "verilog":
+		err = verilog(args)
+	case "gates":
+		err = gates(args)
+	case "dot":
+		err = dot(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asyncsynth:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: asyncsynth <command> [args]
+
+commands:
+  report fig5|fig12|fig13   regenerate a paper table/figure (DIFFEQ)
+  describe [bench]          print the CDFG
+  transform [bench]         apply the global transforms, print the trace
+  extract [bench]           print the extracted burst-mode controllers
+  simulate [bench]          controller-level simulation, final registers
+  explore [bench]           design-space exploration sweep
+  synth [bench]             gate-level synthesis, per-function logic
+  verilog [bench]           structural Verilog netlists of the controllers
+  gates [bench]             simulate the synthesized logic as gates
+  dot cdfg|afsm|channels [bench]  Graphviz output (after full optimization)
+
+benchmarks: diffeq (default), gcd, fir`)
+}
+
+func buildBench(name string) (*cdfg.Graph, []string, map[string]float64, error) {
+	switch name {
+	case "", "diffeq":
+		p := diffeq.DefaultParams()
+		ref := diffeq.Reference(p)
+		return diffeq.Build(p), diffeq.FUs,
+			map[string]float64{"X": ref["X"], "Y": ref["Y"], "U": ref["U"]}, nil
+	case "gcd":
+		return gcd.Build(123, 45), gcd.FUs,
+			map[string]float64{"a": gcd.Reference(123, 45)}, nil
+	case "fir":
+		fp := fir.DefaultParams()
+		fref := fir.Reference(fp)
+		return fir.Build(fp), fir.FUs,
+			map[string]float64{"s": fref["s"], "i": fref["i"]}, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown benchmark %q", name)
+	}
+}
+
+func benchArg(args []string) string {
+	if len(args) > 0 {
+		return args[0]
+	}
+	return "diffeq"
+}
+
+func report(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("report needs fig5, fig12 or fig13")
+	}
+	switch args[0] {
+	case "fig5":
+		g := diffeq.Build(diffeq.DefaultParams())
+		opts := transform.DefaultOptions()
+		opts.SkipGT5 = true
+		plan, _, err := transform.OptimizeGT(g, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("before GT5 (Figure 5, left):\n%s\n", plan.Describe())
+		plan.Eliminate()
+		fmt.Printf("after GT5 (Figure 5, right):\n%s", plan.Describe())
+		return nil
+	case "fig12":
+		var rows []core.Row
+		for _, level := range []core.Level{core.Unoptimized, core.OptimizedGT, core.OptimizedGTLT} {
+			opt := core.DefaultOptions()
+			opt.Level = level
+			s, err := core.Run(diffeq.Build(diffeq.DefaultParams()), opt)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, s.Fig12Row())
+		}
+		fmt.Println("State machine comparison (Figure 12), this implementation:")
+		fmt.Print(core.FormatFig12(diffeq.FUs, rows))
+		fmt.Println("\nPaper's published numbers:")
+		var paper []core.Row
+		for _, r := range diffeq.PaperFig12 {
+			paper = append(paper, core.Row{Name: r.Name, Channels: r.Channels, States: r.States, Transitions: r.Transitions})
+		}
+		fmt.Print(core.FormatFig12(diffeq.FUs, paper))
+		return nil
+	case "fig13":
+		s, err := core.Run(diffeq.Build(diffeq.DefaultParams()), core.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		results, err := s.SynthesizeLogic()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Gate-level comparison (Figure 13), this implementation:")
+		fmt.Print(core.FormatFig13(diffeq.FUs, results))
+		fmt.Println("\nYun et al. (manual, published):")
+		for _, r := range diffeq.PaperFig13Yun {
+			fmt.Printf("%-8s %8d %8d\n", r.Controller, r.Products, r.Literals)
+		}
+		p, l := diffeq.GateTotals(diffeq.PaperFig13Yun)
+		fmt.Printf("%-8s %8d %8d\n", "total", p, l)
+		return nil
+	default:
+		return fmt.Errorf("unknown report %q", args[0])
+	}
+}
+
+func describe(args []string) error {
+	g, _, _, err := buildBench(benchArg(args))
+	if err != nil {
+		return err
+	}
+	fmt.Print(g)
+	return nil
+}
+
+func doTransform(args []string) error {
+	g, _, _, err := buildBench(benchArg(args))
+	if err != nil {
+		return err
+	}
+	plan, reports, err := transform.OptimizeGT(g, transform.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	for _, r := range reports {
+		fmt.Println(r)
+		fmt.Println()
+	}
+	fmt.Print(plan.Describe())
+	return nil
+}
+
+func doExtract(args []string) error {
+	g, fus, _, err := buildBench(benchArg(args))
+	if err != nil {
+		return err
+	}
+	s, err := core.Run(g, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	for _, fu := range fus {
+		fmt.Println(s.Machines[fu])
+	}
+	return nil
+}
+
+func simulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	seeds := fs.Int("seeds", 5, "number of random delay assignments")
+	level := fs.String("level", "gtlt", "unopt | gt | gtlt")
+	bench := benchArg(args)
+	rest := args
+	if len(args) > 0 && args[0] != "" && args[0][0] != '-' {
+		rest = args[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	g, _, want, err := buildBench(bench)
+	if err != nil {
+		return err
+	}
+	opt := core.DefaultOptions()
+	switch *level {
+	case "unopt":
+		opt.Level = core.Unoptimized
+	case "gt":
+		opt.Level = core.OptimizedGT
+	case "gtlt":
+		opt.Level = core.OptimizedGTLT
+	default:
+		return fmt.Errorf("unknown level %q", *level)
+	}
+	s, err := core.Run(g, opt)
+	if err != nil {
+		return err
+	}
+	if err := s.Verify(want, *seeds); err != nil {
+		return err
+	}
+	res, err := s.Simulate(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s %s: verified against reference over %d delay assignments\n", bench, opt.Level, *seeds)
+	fmt.Printf("final registers (seed 0, %d events, t=%.1f):\n", res.Events, res.FinishTime)
+	for reg, v := range want {
+		fmt.Printf("  %s = %v (want %v)\n", reg, res.Regs[reg], v)
+	}
+	return nil
+}
+
+func doExplore(args []string) error {
+	g, _, _, err := buildBench(benchArg(args))
+	if err != nil {
+		return err
+	}
+	scores := explore.Sweep(g, explore.AllVariants())
+	fmt.Print(explore.Format(scores))
+	if best, ok := explore.Best(scores, func(s explore.Score) float64 { return s.Makespan }); ok {
+		fmt.Printf("\nfastest variant: %s (makespan %.1f)\n", best.Variant.Name, best.Makespan)
+	}
+	fmt.Println("Pareto front (channels × states × makespan):")
+	for _, sc := range explore.Pareto(scores) {
+		fmt.Printf("  %s\n", sc.Variant.Name)
+	}
+	return nil
+}
+
+func doSynth(args []string) error {
+	g, fus, _, err := buildBench(benchArg(args))
+	if err != nil {
+		return err
+	}
+	s, err := core.Run(g, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	results, err := s.SynthesizeLogic()
+	if err != nil {
+		return err
+	}
+	for _, fu := range fus {
+		r := results[fu]
+		fmt.Println(r.Summary())
+		r.SortFunctions()
+		for _, f := range r.Functions {
+			hf := ""
+			if !f.HazardFree {
+				hf = "  [NOT hazard-free]"
+			}
+			fmt.Printf("  %-16s %3d products %4d literals%s\n", f.Name, f.Products, f.Literals, hf)
+		}
+	}
+	return nil
+}
+
+func gates(args []string) error {
+	g, _, want, err := buildBench(benchArg(args))
+	if err != nil {
+		return err
+	}
+	s, err := core.Run(g, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	results, err := s.SynthesizeLogic()
+	if err != nil {
+		return err
+	}
+	res, err := s.GateSimulate(results, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gate-level simulation: %d events, t=%.1f\n", res.Events, res.FinishTime)
+	for reg, w := range want {
+		status := "OK"
+		if res.Regs[reg] != w {
+			status = "MISMATCH"
+		}
+		fmt.Printf("  %s = %v (want %v) %s\n", reg, res.Regs[reg], w, status)
+	}
+	if len(res.Violations) > 0 {
+		fmt.Printf("violations: %v\n", res.Violations)
+	}
+	return nil
+}
+
+func verilog(args []string) error {
+	g, fus, _, err := buildBench(benchArg(args))
+	if err != nil {
+		return err
+	}
+	s, err := core.Run(g, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	results, err := s.SynthesizeLogic()
+	if err != nil {
+		return err
+	}
+	for _, fu := range fus {
+		v, err := synth.Verilog(s.Machines[fu], results[fu])
+		if err != nil {
+			return err
+		}
+		fmt.Println(v)
+	}
+	return nil
+}
+
+func dot(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("dot needs cdfg or afsm")
+	}
+	kind := args[0]
+	g, fus, _, err := buildBench(benchArg(args[1:]))
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case "cdfg":
+		if _, _, err := transform.OptimizeGT(g, transform.DefaultOptions()); err != nil {
+			return err
+		}
+		fmt.Print(g.DOT())
+		return nil
+	case "afsm":
+		s, err := core.Run(g, core.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		for _, fu := range fus {
+			fmt.Print(s.Machines[fu].DOT())
+		}
+		return nil
+	case "channels":
+		s, err := core.Run(g, core.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		fmt.Print(s.Plan.DOT())
+		return nil
+	default:
+		return fmt.Errorf("unknown dot kind %q", kind)
+	}
+}

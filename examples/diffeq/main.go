@@ -1,0 +1,77 @@
+// The paper's case study end to end: the differential equation solver
+// benchmark is taken through all three experiment levels (unoptimized,
+// optimized-GT, optimized-GT-and-LT), regenerating the channel counts of
+// Figure 5, the state-machine comparison of Figure 12 and the gate-level
+// comparison of Figure 13, and verifying each implementation by simulation
+// against the sequential reference.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/diffeq"
+	"repro/internal/transform"
+)
+
+func main() {
+	p := diffeq.DefaultParams()
+	ref := diffeq.Reference(p)
+	want := map[string]float64{"X": ref["X"], "Y": ref["Y"], "U": ref["U"]}
+	fmt.Printf("DIFFEQ: x0=%v y0=%v u0=%v dx=%v a=%v → %d iterations\n",
+		p.X0, p.Y0, p.U0, p.DX, p.A, diffeq.Iterations(p))
+	fmt.Printf("reference: X=%v Y=%v U=%v\n\n", ref["X"], ref["Y"], ref["U"])
+
+	// Figure 5: channel elimination.
+	g := diffeq.Build(p)
+	opts := transform.DefaultOptions()
+	opts.SkipGT5 = true
+	plan, _, err := transform.OptimizeGT(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("channels after GT1–GT4 (Figure 5, left): %d\n", plan.Count())
+	plan.Eliminate()
+	fmt.Printf("channels after GT5 (Figure 5, right): %d (%d multi-way)\n\n",
+		plan.Count(), plan.MultiwayCount())
+
+	// Figure 12: the three experiment rows, each verified by simulation.
+	var rows []core.Row
+	var final *core.Synthesis
+	for _, level := range []core.Level{core.Unoptimized, core.OptimizedGT, core.OptimizedGTLT} {
+		opt := core.DefaultOptions()
+		opt.Level = level
+		s, err := core.Run(diffeq.Build(p), opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.Verify(want, 5); err != nil {
+			log.Fatalf("%s: %v", level, err)
+		}
+		rows = append(rows, s.Fig12Row())
+		final = s
+	}
+	fmt.Println("Figure 12 (state machine comparison), this implementation:")
+	fmt.Print(core.FormatFig12(diffeq.FUs, rows))
+	fmt.Println("\npaper's published rows:")
+	var paper []core.Row
+	for _, r := range diffeq.PaperFig12 {
+		paper = append(paper, core.Row{Name: r.Name, Channels: r.Channels, States: r.States, Transitions: r.Transitions})
+	}
+	fmt.Print(core.FormatFig12(diffeq.FUs, paper))
+
+	// Figure 13: gate-level synthesis of the fully optimized controllers.
+	results, err := final.SynthesizeLogic()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nFigure 13 (gate level), this implementation:")
+	fmt.Print(core.FormatFig13(diffeq.FUs, results))
+	yp, yl := diffeq.GateTotals(diffeq.PaperFig13Yun)
+	op, ol := diffeq.GateTotals(diffeq.PaperFig13Ours)
+	fmt.Printf("\npublished: Yun (manual) total %d/%d, paper's automated flow total %d/%d\n", yp, yl, op, ol)
+
+	fmt.Printf("\nall three levels verified against the reference over 5 random delay assignments\n")
+	fmt.Printf("timing assumptions taken by the full flow: %d\n", len(final.Assumptions()))
+}

@@ -1,0 +1,296 @@
+// Package bm implements extended burst-mode (XBM) asynchronous finite
+// state machine specifications, the controller formalism of the paper
+// (§4.1). A machine is a set of states and labeled transitions; a
+// transition fires when its complete input burst (a set of signal edges)
+// has arrived and any sampled level conditions hold, emitting its output
+// burst.
+//
+// Two extensions beyond plain burst mode are supported, following the
+// paper's extraction needs:
+//
+//   - conditionals: transitions may sample level signals (the LOOP node's
+//     condition register);
+//   - directed don't-cares: a transition may declare signals free to
+//     change while it is pending (early request arrival, §4.2 step 4);
+//   - toggle edges: global "ready" wires use transition signaling, so a
+//     wire consumed an odd number of times per cycle alternates polarity;
+//     a Toggle edge matches either polarity.
+package bm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// IsWire reports whether a signal name denotes a global communication wire
+// between controllers (as opposed to a local datapath handshake signal).
+// Extraction names channel wires "w<id>_<sender>" and environment wires
+// "start<i>"/"fin<i>".
+func IsWire(sig string) bool {
+	return len(sig) > 1 && (sig[0] == 'w' && sig[1] >= '0' && sig[1] <= '9' ||
+		strings.HasPrefix(sig, "start") || strings.HasPrefix(sig, "fin"))
+}
+
+// StateID identifies a machine state.
+type StateID int
+
+// Edge is the kind of signal event in a burst.
+type Edge int
+
+// Edge kinds.
+const (
+	Rise   Edge = iota // 0 → 1
+	Fall               // 1 → 0
+	Toggle             // either polarity (transition signaling)
+)
+
+func (e Edge) String() string {
+	switch e {
+	case Rise:
+		return "+"
+	case Fall:
+		return "-"
+	case Toggle:
+		return "~"
+	default:
+		return "?"
+	}
+}
+
+// Event is one signal edge within a burst.
+type Event struct {
+	Signal string
+	Edge   Edge
+}
+
+func (e Event) String() string { return e.Signal + e.Edge.String() }
+
+// Cond is a sampled level condition (an XBM conditional).
+type Cond struct {
+	Signal string
+	Value  bool
+}
+
+func (c Cond) String() string {
+	if c.Value {
+		return "<" + c.Signal + "=1>"
+	}
+	return "<" + c.Signal + "=0>"
+}
+
+// Transition is one state transition: when In (and Cond) complete, move
+// from From to To emitting Out.
+type Transition struct {
+	From, To StateID
+	In       []Event
+	Cond     []Cond
+	Out      []Event
+	// Free lists signals that may change while this transition is pending
+	// (directed don't-cares from back-annotated early arrivals).
+	Free []string
+	// Label annotates the transition with its originating micro-operation.
+	Label string
+}
+
+func (t *Transition) String() string {
+	var parts []string
+	for _, c := range t.Cond {
+		parts = append(parts, c.String())
+	}
+	for _, e := range t.In {
+		parts = append(parts, e.String())
+	}
+	in := strings.Join(parts, " ")
+	var outs []string
+	for _, e := range t.Out {
+		outs = append(outs, e.String())
+	}
+	return fmt.Sprintf("s%d → s%d : %s / %s", t.From, t.To, in, strings.Join(outs, " "))
+}
+
+// HasInput reports whether the transition's in-burst contains the signal.
+func (t *Transition) HasInput(sig string) bool {
+	for _, e := range t.In {
+		if e.Signal == sig {
+			return true
+		}
+	}
+	return false
+}
+
+// HasOutput reports whether the transition's out-burst contains the signal.
+func (t *Transition) HasOutput(sig string) bool {
+	for _, e := range t.Out {
+		if e.Signal == sig {
+			return true
+		}
+	}
+	return false
+}
+
+// Machine is an extended burst-mode specification.
+type Machine struct {
+	Name    string
+	Inputs  []string
+	Outputs []string
+	// Levels are sampled level inputs (conditionals).
+	Levels      []string
+	Init        StateID
+	Transitions []*Transition
+	// InitialHigh lists signals whose reset level is 1 rather than 0
+	// (e.g. ready wires primed at reset to pre-enable backward
+	// constraints).
+	InitialHigh []string
+	// StateNames optionally labels states for diagnostics.
+	StateNames map[StateID]string
+	nextState  StateID
+}
+
+// NewMachine creates an empty machine.
+func NewMachine(name string) *Machine {
+	return &Machine{Name: name, StateNames: map[StateID]string{}}
+}
+
+// NewState allocates a fresh state.
+func (m *Machine) NewState(name string) StateID {
+	id := m.nextState
+	m.nextState++
+	if name != "" {
+		m.StateNames[id] = name
+	}
+	return id
+}
+
+// AddTransition appends a transition.
+func (m *Machine) AddTransition(t *Transition) *Transition {
+	m.Transitions = append(m.Transitions, t)
+	return t
+}
+
+// AddInput registers an input signal if new.
+func (m *Machine) AddInput(sig string) {
+	if !contains(m.Inputs, sig) {
+		m.Inputs = append(m.Inputs, sig)
+	}
+}
+
+// AddOutput registers an output signal if new.
+func (m *Machine) AddOutput(sig string) {
+	if !contains(m.Outputs, sig) {
+		m.Outputs = append(m.Outputs, sig)
+	}
+}
+
+// AddLevel registers a sampled level input if new.
+func (m *Machine) AddLevel(sig string) {
+	if !contains(m.Levels, sig) {
+		m.Levels = append(m.Levels, sig)
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// States returns the set of states referenced by transitions, sorted.
+func (m *Machine) States() []StateID {
+	set := map[StateID]bool{m.Init: true}
+	for _, t := range m.Transitions {
+		set[t.From] = true
+		set[t.To] = true
+	}
+	var out []StateID
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumStates returns the number of reachable states.
+func (m *Machine) NumStates() int { return len(m.States()) }
+
+// NumTransitions returns the transition count.
+func (m *Machine) NumTransitions() int { return len(m.Transitions) }
+
+// OutTransitions returns the transitions leaving state s.
+func (m *Machine) OutTransitions(s StateID) []*Transition {
+	var out []*Transition
+	for _, t := range m.Transitions {
+		if t.From == s {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// InTransitions returns the transitions entering state s.
+func (m *Machine) InTransitions(s StateID) []*Transition {
+	var out []*Transition
+	for _, t := range m.Transitions {
+		if t.To == s {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// String renders the machine as a transition list.
+func (m *Machine) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine %s: %d states, %d transitions\n", m.Name, m.NumStates(), m.NumTransitions())
+	fmt.Fprintf(&b, "  inputs: %s\n", strings.Join(m.Inputs, " "))
+	fmt.Fprintf(&b, "  outputs: %s\n", strings.Join(m.Outputs, " "))
+	if len(m.Levels) > 0 {
+		fmt.Fprintf(&b, "  levels: %s\n", strings.Join(m.Levels, " "))
+	}
+	for _, t := range m.Transitions {
+		fmt.Fprintf(&b, "  %s", t)
+		if t.Label != "" {
+			fmt.Fprintf(&b, "   ; %s", t.Label)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// DOT renders the machine in Graphviz format.
+func (m *Machine) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=circle, fontsize=10];\n", m.Name)
+	for _, s := range m.States() {
+		label := fmt.Sprintf("s%d", s)
+		if n := m.StateNames[s]; n != "" {
+			label = fmt.Sprintf("s%d\\n%s", s, n)
+		}
+		shape := "circle"
+		if s == m.Init {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  s%d [label=%q, shape=%s];\n", s, label, shape)
+	}
+	for _, t := range m.Transitions {
+		var parts []string
+		for _, c := range t.Cond {
+			parts = append(parts, c.String())
+		}
+		for _, e := range t.In {
+			parts = append(parts, e.String())
+		}
+		in := strings.Join(parts, " ")
+		var outs []string
+		for _, e := range t.Out {
+			outs = append(outs, e.String())
+		}
+		fmt.Fprintf(&b, "  s%d -> s%d [label=%q, fontsize=8];\n", t.From, t.To,
+			fmt.Sprintf("%s / %s", in, strings.Join(outs, " ")))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,198 @@
+package bm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildToggle builds a simple two-state RZ handshake machine:
+// s0 --req+ / ack+--> s1 --req- / ack---> s0.
+func buildHandshake() *Machine {
+	m := NewMachine("hs")
+	m.AddInput("req")
+	m.AddOutput("ack")
+	s0 := m.NewState("idle")
+	s1 := m.NewState("busy")
+	m.Init = s0
+	m.AddTransition(&Transition{From: s0, To: s1, In: []Event{{"req", Rise}}, Out: []Event{{"ack", Rise}}})
+	m.AddTransition(&Transition{From: s1, To: s0, In: []Event{{"req", Fall}}, Out: []Event{{"ack", Fall}}})
+	return m
+}
+
+func TestHandshakeValid(t *testing.T) {
+	m := buildHandshake()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 2 || m.NumTransitions() != 2 {
+		t.Errorf("states=%d transitions=%d", m.NumStates(), m.NumTransitions())
+	}
+}
+
+func TestUndeclaredSignal(t *testing.T) {
+	m := buildHandshake()
+	m.AddTransition(&Transition{From: 0, To: 1, In: []Event{{"ghost", Rise}}})
+	if err := m.Validate(); err == nil {
+		t.Error("undeclared input accepted")
+	}
+}
+
+func TestEmptyTrigger(t *testing.T) {
+	m := buildHandshake()
+	m.AddTransition(&Transition{From: 1, To: 0})
+	if err := m.Validate(); err == nil {
+		t.Error("triggerless transition accepted")
+	}
+}
+
+func TestMaximalSetViolation(t *testing.T) {
+	m := NewMachine("ms")
+	m.AddInput("a")
+	m.AddInput("b")
+	m.AddOutput("x")
+	s0, s1, s2 := m.NewState(""), m.NewState(""), m.NewState("")
+	m.Init = s0
+	m.AddTransition(&Transition{From: s0, To: s1, In: []Event{{"a", Rise}}, Out: []Event{{"x", Rise}}})
+	m.AddTransition(&Transition{From: s0, To: s2, In: []Event{{"a", Rise}, {"b", Rise}}})
+	if err := m.Validate(); err == nil {
+		t.Error("subset trigger accepted (maximal set property)")
+	}
+}
+
+func TestConditionalDistinguishes(t *testing.T) {
+	m := NewMachine("cond")
+	m.AddInput("go")
+	m.AddOutput("x")
+	m.AddLevel("c")
+	s0, s1, s2 := m.NewState(""), m.NewState(""), m.NewState("")
+	m.Init = s0
+	m.AddTransition(&Transition{From: s0, To: s1, In: []Event{{"go", Rise}},
+		Cond: []Cond{{"c", true}}, Out: []Event{{"x", Rise}}})
+	m.AddTransition(&Transition{From: s0, To: s2, In: []Event{{"go", Rise}},
+		Cond: []Cond{{"c", false}}})
+	if err := m.Validate(); err != nil {
+		t.Fatalf("conditional pair rejected: %v", err)
+	}
+}
+
+func TestPolarityConflict(t *testing.T) {
+	m := NewMachine("pol")
+	m.AddInput("a")
+	m.AddOutput("x")
+	s0, s1 := m.NewState(""), m.NewState("")
+	m.Init = s0
+	// x rises twice without falling.
+	m.AddTransition(&Transition{From: s0, To: s1, In: []Event{{"a", Rise}}, Out: []Event{{"x", Rise}}})
+	m.AddTransition(&Transition{From: s1, To: s0, In: []Event{{"a", Fall}}, Out: []Event{{"x", Rise}}})
+	if err := m.Validate(); err == nil {
+		t.Error("double rise accepted")
+	}
+}
+
+func TestTogglePolarityFree(t *testing.T) {
+	m := NewMachine("tog")
+	m.AddInput("w")
+	m.AddOutput("x")
+	s0, s1 := m.NewState(""), m.NewState("")
+	m.Init = s0
+	// A toggling wire consumed once per cycle: alternating polarity is
+	// legal only via Toggle edges.
+	m.AddTransition(&Transition{From: s0, To: s1, In: []Event{{"w", Toggle}}, Out: []Event{{"x", Rise}}})
+	m.AddTransition(&Transition{From: s1, To: s0, In: []Event{{"w", Toggle}}, Out: []Event{{"x", Fall}}})
+	if err := m.Validate(); err != nil {
+		t.Fatalf("toggle machine rejected: %v", err)
+	}
+}
+
+func TestRepeatedSignalInBurst(t *testing.T) {
+	m := NewMachine("rep")
+	m.AddInput("a")
+	m.AddOutput("x")
+	s0, s1 := m.NewState(""), m.NewState("")
+	m.Init = s0
+	m.AddTransition(&Transition{From: s0, To: s1, In: []Event{{"a", Rise}, {"a", Fall}}, Out: []Event{{"x", Rise}}})
+	if err := m.Validate(); err == nil {
+		t.Error("repeated signal in one burst accepted")
+	}
+}
+
+func TestStringAndDOT(t *testing.T) {
+	m := buildHandshake()
+	s := m.String()
+	for _, want := range []string{"machine hs", "req+", "ack-"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+	d := m.DOT()
+	for _, want := range []string{"digraph", "doublecircle", "req+ / ack+"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("DOT missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestTransitionHelpers(t *testing.T) {
+	m := buildHandshake()
+	tr := m.Transitions[0]
+	if !tr.HasInput("req") || tr.HasInput("ack") {
+		t.Error("HasInput wrong")
+	}
+	if !tr.HasOutput("ack") || tr.HasOutput("req") {
+		t.Error("HasOutput wrong")
+	}
+	if len(m.OutTransitions(0)) != 1 || len(m.InTransitions(0)) != 1 {
+		t.Error("transition adjacency wrong")
+	}
+}
+
+// Property: randomly generated alternating-handshake chains always
+// validate, and their DOT/String renderings cover every transition.
+func TestQuickRandomChains(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewMachine("chain")
+		n := 2 + r.Intn(6)
+		for i := 0; i < n; i++ {
+			m.AddInput(fmt.Sprintf("i%d", i))
+			m.AddOutput(fmt.Sprintf("o%d", i))
+		}
+		states := make([]StateID, n)
+		for i := range states {
+			states[i] = m.NewState("")
+		}
+		m.Init = states[0]
+		// Ring of rise transitions followed by a fall-everything return.
+		for i := 0; i+1 < n; i++ {
+			m.AddTransition(&Transition{
+				From: states[i], To: states[i+1],
+				In:  []Event{{Signal: fmt.Sprintf("i%d", i), Edge: Rise}},
+				Out: []Event{{Signal: fmt.Sprintf("o%d", i), Edge: Rise}},
+			})
+		}
+		var ins, outs []Event
+		for i := 0; i+1 < n; i++ {
+			ins = append(ins, Event{Signal: fmt.Sprintf("i%d", i), Edge: Fall})
+			outs = append(outs, Event{Signal: fmt.Sprintf("o%d", i), Edge: Fall})
+		}
+		m.AddTransition(&Transition{From: states[n-1], To: states[0], In: ins, Out: outs})
+		if err := m.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		dot := m.DOT()
+		str := m.String()
+		for i := 0; i+1 < n; i++ {
+			if !strings.Contains(str, fmt.Sprintf("i%d+", i)) {
+				return false
+			}
+		}
+		return strings.Contains(dot, "digraph") && m.NumStates() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+package bm
+
+import "fmt"
+
+// Validate checks XBM well-formedness:
+//
+//   - every event's signal is declared with the right role;
+//   - no empty in-burst except on conditional-only transitions;
+//   - the maximal set property: of two transitions leaving one state,
+//     neither's trigger may be a subset of the other's (they must be
+//     distinguishable);
+//   - polarity consistency: following edges from the initial state, every
+//     non-toggle signal has a consistent level in every state.
+func (m *Machine) Validate() error {
+	inSet, outSet, lvlSet := set(m.Inputs), set(m.Outputs), set(m.Levels)
+	for i, t := range m.Transitions {
+		if len(t.In) == 0 && len(t.Cond) == 0 {
+			return fmt.Errorf("bm: transition %d (%s) has no trigger", i, t)
+		}
+		for _, e := range t.In {
+			if !inSet[e.Signal] {
+				return fmt.Errorf("bm: transition %d uses undeclared input %q", i, e.Signal)
+			}
+		}
+		for _, e := range t.Out {
+			if !outSet[e.Signal] {
+				return fmt.Errorf("bm: transition %d emits undeclared output %q", i, e.Signal)
+			}
+		}
+		for _, c := range t.Cond {
+			if !lvlSet[c.Signal] {
+				return fmt.Errorf("bm: transition %d samples undeclared level %q", i, c.Signal)
+			}
+		}
+		seen := map[string]bool{}
+		for _, e := range t.In {
+			if seen[e.Signal] {
+				return fmt.Errorf("bm: transition %d repeats input %q in one burst", i, e.Signal)
+			}
+			seen[e.Signal] = true
+		}
+	}
+	if err := m.checkMaximalSet(); err != nil {
+		return err
+	}
+	return m.checkPolarity()
+}
+
+func set(ss []string) map[string]bool {
+	out := map[string]bool{}
+	for _, s := range ss {
+		out[s] = true
+	}
+	return out
+}
+
+// checkMaximalSet verifies distinguishability of sibling transitions.
+func (m *Machine) checkMaximalSet() error {
+	for _, s := range m.States() {
+		outs := m.OutTransitions(s)
+		for i := 0; i < len(outs); i++ {
+			for j := 0; j < len(outs); j++ {
+				if i == j {
+					continue
+				}
+				if subsumes(outs[i], outs[j]) {
+					return fmt.Errorf("bm: state s%d: trigger of (%s) subsumes (%s): maximal set property violated",
+						s, outs[i], outs[j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// subsumes reports whether b's trigger is a subset of a's with no
+// distinguishing condition — firing a would also fire b.
+func subsumes(a, b *Transition) bool {
+	for _, e := range b.In {
+		found := false
+		for _, f := range a.In {
+			if f.Signal == e.Signal {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	// A condition with opposite value distinguishes the two.
+	for _, cb := range b.Cond {
+		for _, ca := range a.Cond {
+			if ca.Signal == cb.Signal && ca.Value != cb.Value {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkPolarity assigns signal levels per state by propagation from the
+// initial state (all signals low) and reports conflicts for non-toggle
+// edges.
+func (m *Machine) checkPolarity() error {
+	type level map[string]int // -1 unknown, 0, 1
+	levels := map[StateID]level{}
+	sigs := append(append([]string{}, m.Inputs...), m.Outputs...)
+	start := level{}
+	for _, s := range sigs {
+		start[s] = 0
+	}
+	for _, s := range m.InitialHigh {
+		start[s] = 1
+	}
+	levels[m.Init] = start
+	queue := []StateID{m.Init}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		cur := levels[s]
+		for _, t := range m.OutTransitions(s) {
+			next := level{}
+			for k, v := range cur {
+				next[k] = v
+			}
+			// Free signals may change unobserved while the transition is
+			// pending: their level is unknown here.
+			free := map[string]bool{}
+			for _, f := range t.Free {
+				free[f] = true
+				next[f] = -1
+			}
+			events := append(append([]Event{}, t.In...), t.Out...)
+			for _, e := range events {
+				lvl := cur[e.Signal]
+				if free[e.Signal] {
+					lvl = -1
+				}
+				switch e.Edge {
+				case Rise:
+					if lvl == 1 {
+						return fmt.Errorf("bm: %s: %s+ but signal already high in s%d", t, e.Signal, s)
+					}
+					next[e.Signal] = 1
+				case Fall:
+					if lvl == 0 {
+						return fmt.Errorf("bm: %s: %s- but signal already low in s%d", t, e.Signal, s)
+					}
+					next[e.Signal] = 0
+				case Toggle:
+					next[e.Signal] = -1 // polarity untracked
+				}
+			}
+			// Signals free on any transition leaving the target state are
+			// not level-tracked there.
+			for _, nt := range m.OutTransitions(t.To) {
+				for _, f := range nt.Free {
+					next[f] = -1
+				}
+			}
+			if prev, ok := levels[t.To]; ok {
+				for k, v := range next {
+					if prev[k] >= 0 && v >= 0 && prev[k] != v {
+						return fmt.Errorf("bm: state s%d reached with %s=%d and %s=%d", t.To, k, prev[k], k, v)
+					}
+					if v < 0 {
+						prev[k] = -1
+					}
+				}
+			} else {
+				levels[t.To] = next
+				queue = append(queue, t.To)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package cdfg
+
+import "sort"
+
+// RegAccess describes one access to a register within a block, at block
+// granularity: nested blocks that touch the register internally appear as a
+// single access anchored at their root/end nodes.
+type RegAccess struct {
+	// InNode anchors arcs pointing at this access (the node itself, or a
+	// nested block's root).
+	InNode NodeID
+	// OutNode and OutBranch anchor arcs leaving this access (the node
+	// itself; a nested loop's root with the exit branch; a nested if's end).
+	OutNode   NodeID
+	OutBranch OutBranch
+	Reads     bool
+	Writes    bool
+	Order     int
+}
+
+// RegAccessesIn returns the ordered accesses to register reg within block
+// b, at block granularity.
+func (g *Graph) RegAccessesIn(block int, reg string) []RegAccess {
+	ag := &arcGen{g: g}
+	var out []RegAccess
+	for _, a := range ag.regAccesses(g.Blocks[block], reg) {
+		out = append(out, RegAccess{
+			InNode:    a.in(g),
+			OutNode:   outNodeOf(g, a.entry),
+			OutBranch: outBranchOf(g, a.entry),
+			Reads:     a.reads,
+			Writes:    a.writes,
+			Order:     a.order(g),
+		})
+	}
+	return out
+}
+
+func outNodeOf(g *Graph, e entry) NodeID {
+	n, _ := e.out(g)
+	return n
+}
+
+func outBranchOf(g *Graph, e entry) OutBranch {
+	_, b := e.out(g)
+	return b
+}
+
+// BlockRegs returns the registers (excluding constants) accessed anywhere
+// inside block b, transitively.
+func (g *Graph) BlockRegs(block int) []string {
+	ag := &arcGen{g: g}
+	set := map[string]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		for _, id := range b.Nodes {
+			n := g.Node(id)
+			for _, r := range n.Reads() {
+				set[r] = true
+			}
+			for _, r := range n.Writes() {
+				set[r] = true
+			}
+			if n.Kind == KindLoop || n.Kind == KindIf {
+				if sub := ag.blockOfRoot(id); sub != nil {
+					walk(sub)
+				}
+			}
+		}
+	}
+	walk(g.Blocks[block])
+	var out []string
+	for r := range set {
+		if !g.Consts[r] {
+			out = append(out, r)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BlockWritesReg reports whether block b (transitively) writes register r.
+func (g *Graph) BlockWritesReg(block int, r string) bool {
+	ag := &arcGen{g: g}
+	return ag.blockAccessesReg(g.Blocks[block], r, true)
+}
+
+// NodeInBlock reports whether node id belongs to block b or one of its
+// descendants.
+func (g *Graph) NodeInBlock(id NodeID, block int) bool {
+	b := g.Node(id).Block
+	for b >= 0 {
+		if b == block {
+			return true
+		}
+		b = g.Blocks[b].Parent
+	}
+	return false
+}

@@ -1,0 +1,385 @@
+package cdfg
+
+import "sort"
+
+// arcGen derives all constraint arcs of a freshly built CDFG, per §2.1 of
+// the paper: control-flow arcs, per-unit scheduling arcs, data-dependency
+// arcs and register-allocation (anti-dependency) arcs. All arcs respect
+// block structure: they enter and exit nested blocks only at the block root
+// (or, for post-block ordering, leave via the root's exit branch or the
+// block end node).
+type arcGen struct {
+	g *Graph
+}
+
+// entry is one element of a functional unit's schedule chain within a
+// block: either a plain node or a nested block (represented by its
+// root/end pair).
+type entry struct {
+	node *Node
+	blk  *Block
+}
+
+func (e entry) in(g *Graph) NodeID {
+	if e.node != nil {
+		return e.node.ID
+	}
+	return e.blk.Root
+}
+
+// out returns the node and branch that signal completion of the entry: a
+// plain node completes itself; a loop "completes" when its root exits
+// (false branch); an if completes at its end node.
+func (e entry) out(g *Graph) (NodeID, OutBranch) {
+	if e.node != nil {
+		return e.node.ID, OutAlways
+	}
+	if e.blk.Kind == BlockLoop {
+		return e.blk.Root, OutFalse
+	}
+	return e.blk.End, OutAlways
+}
+
+func (e entry) order(g *Graph) int {
+	if e.node != nil {
+		return e.node.Order
+	}
+	return g.Node(e.blk.Root).Order
+}
+
+func (ag *arcGen) run() error {
+	ag.schedAndControl()
+	ag.dataArcs()
+	ag.regAllocArcs()
+	ag.assignGroups()
+	return nil
+}
+
+// entriesFor returns the schedule chain of functional unit fu within block
+// b: its plain nodes plus nested blocks that involve fu (as owner or via
+// internal nodes), in program order.
+func (ag *arcGen) entriesFor(b *Block, fu string) []entry {
+	g := ag.g
+	var out []entry
+	seen := map[int]bool{}
+	for _, id := range b.Nodes {
+		n := g.Node(id)
+		switch n.Kind {
+		case KindLoop, KindIf:
+			sub := ag.blockOfRoot(id)
+			if sub != nil && !seen[sub.ID] && (n.FU == fu || ag.blockInvolvesFU(sub, fu)) {
+				seen[sub.ID] = true
+				out = append(out, entry{blk: sub})
+			}
+		case KindEndLoop, KindEndIf:
+			// Covered by the root's block entry.
+		case KindStart, KindEnd:
+			// Not part of any chain.
+		default:
+			if n.FU == fu {
+				out = append(out, entry{node: n})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].order(g) < out[j].order(g) })
+	return out
+}
+
+func (ag *arcGen) blockOfRoot(root NodeID) *Block {
+	for _, b := range ag.g.Blocks {
+		if b.Kind != BlockTop && b.Root == root {
+			return b
+		}
+	}
+	return nil
+}
+
+// blockInvolvesFU reports whether any node inside block b (transitively) is
+// bound to fu.
+func (ag *arcGen) blockInvolvesFU(b *Block, fu string) bool {
+	g := ag.g
+	for _, id := range b.Nodes {
+		n := g.Node(id)
+		if n.FU == fu {
+			return true
+		}
+		if n.Kind == KindLoop || n.Kind == KindIf {
+			if sub := ag.blockOfRoot(id); sub != nil && ag.blockInvolvesFU(sub, fu) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (ag *arcGen) schedAndControl() {
+	g := ag.g
+	for _, b := range g.Blocks {
+		anyEntries := false
+		for _, fu := range g.FUs {
+			entries := ag.entriesFor(b, fu)
+			if len(entries) == 0 {
+				continue
+			}
+			anyEntries = true
+			// Chain consecutive entries of the same unit.
+			for i := 1; i < len(entries); i++ {
+				from, br := entries[i-1].out(g)
+				g.AddArc(&Arc{From: from, To: entries[i].in(g), Kind: ArcSched, Branch: br, Note: fu})
+			}
+			first, firstIn := entries[0], entries[0].in(g)
+			lastOut, lastBr := entries[len(entries)-1].out(g)
+			_ = first
+			switch b.Kind {
+			case BlockTop:
+				g.AddArc(&Arc{From: g.Start, To: firstIn, Kind: ArcControl})
+				g.AddArc(&Arc{From: lastOut, To: g.End, Kind: ArcControl, Branch: lastBr})
+			case BlockLoop, BlockIf:
+				root, end := b.Root, b.End
+				kind := ArcControl
+				if g.Node(root).FU == fu {
+					kind = ArcSched
+				}
+				g.AddArc(&Arc{From: root, To: firstIn, Kind: kind, Branch: OutTrue, Note: fu})
+				g.AddArc(&Arc{From: lastOut, To: end, Kind: kind, Branch: lastBr, Note: fu})
+			}
+		}
+		switch b.Kind {
+		case BlockLoop:
+			// Repeat arc: each iteration re-arms the LOOP node.
+			g.AddArc(&Arc{From: b.End, To: b.Root, Kind: ArcControl})
+			if !anyEntries {
+				g.AddArc(&Arc{From: b.Root, To: b.End, Kind: ArcControl, Branch: OutTrue})
+			}
+		case BlockIf:
+			// Bypass arc: a false condition skips the body.
+			g.AddArc(&Arc{From: b.Root, To: b.End, Kind: ArcControl, Branch: OutFalse})
+			if !anyEntries {
+				g.AddArc(&Arc{From: b.Root, To: b.End, Kind: ArcControl, Branch: OutTrue})
+			}
+		}
+	}
+}
+
+// blockAccessesReg reports whether any node inside b (transitively) reads
+// (or, with write=true, writes) register r.
+func (ag *arcGen) blockAccessesReg(b *Block, r string, write bool) bool {
+	g := ag.g
+	for _, id := range b.Nodes {
+		n := g.Node(id)
+		regs := n.Reads()
+		if write {
+			regs = n.Writes()
+		}
+		for _, x := range regs {
+			if x == r {
+				return true
+			}
+		}
+		if n.Kind == KindLoop || n.Kind == KindIf {
+			if n.Cond == r && !write {
+				return true
+			}
+			if sub := ag.blockOfRoot(id); sub != nil && ag.blockAccessesReg(sub, r, write) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// accessEntry is a register access within a block: a plain node or a nested
+// block that accesses the register internally.
+type accessEntry struct {
+	entry
+	reads, writes bool
+}
+
+// regAccesses returns the ordered accesses to register r within block b.
+func (ag *arcGen) regAccesses(b *Block, r string) []accessEntry {
+	g := ag.g
+	var out []accessEntry
+	for _, id := range b.Nodes {
+		n := g.Node(id)
+		switch n.Kind {
+		case KindEndLoop, KindEndIf, KindStart, KindEnd:
+			continue
+		case KindLoop, KindIf:
+			sub := ag.blockOfRoot(id)
+			if sub == nil {
+				continue
+			}
+			reads := ag.blockAccessesReg(sub, r, false) || n.Cond == r
+			writes := ag.blockAccessesReg(sub, r, true)
+			if reads || writes {
+				out = append(out, accessEntry{entry: entry{blk: sub}, reads: reads, writes: writes})
+			}
+		default:
+			reads, writes := false, false
+			for _, x := range n.Reads() {
+				if x == r {
+					reads = true
+				}
+			}
+			for _, x := range n.Writes() {
+				if x == r {
+					writes = true
+				}
+			}
+			if reads || writes {
+				out = append(out, accessEntry{entry: entry{node: n}, reads: reads, writes: writes})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].order(g) < out[j].order(g) })
+	return out
+}
+
+// allRegs returns every register name accessed anywhere in the graph,
+// excluding constants.
+func (ag *arcGen) allRegs() []string {
+	set := map[string]bool{}
+	for _, n := range ag.g.Nodes() {
+		for _, r := range n.Reads() {
+			set[r] = true
+		}
+		for _, r := range n.Writes() {
+			set[r] = true
+		}
+	}
+	var out []string
+	for r := range set {
+		if !ag.g.Consts[r] {
+			out = append(out, r)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (ag *arcGen) dataArcs() {
+	g := ag.g
+	for _, n := range g.Nodes() {
+		if n.Kind == KindStart || n.Kind == KindEnd || n.Kind == KindEndLoop || n.Kind == KindEndIf {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, r := range n.Reads() {
+			if g.Consts[r] || seen[r] {
+				continue
+			}
+			seen[r] = true
+			ag.linkData(n, r)
+		}
+	}
+}
+
+// linkData adds the data-dependency arc for node n's read of register r:
+// from the latest preceding write in n's block, or, walking outward through
+// block roots, in an enclosing block. Reads with no preceding writer are
+// environment inputs and get no arc.
+func (ag *arcGen) linkData(n *Node, r string) {
+	g := ag.g
+	anchor := n
+	blockID := n.Block
+	for {
+		b := g.Blocks[blockID]
+		if w, ok := ag.latestWriterBefore(b, anchor.Order, r); ok {
+			from, br := w.out(g)
+			if from != anchor.ID {
+				g.AddArc(&Arc{From: from, To: anchor.ID, Kind: ArcData, Branch: br, Note: r})
+			}
+			return
+		}
+		if b.Parent < 0 {
+			return
+		}
+		// The arc must enter n's enclosing block at its root.
+		anchor = g.Node(b.Root)
+		blockID = b.Parent
+	}
+}
+
+// latestWriterBefore finds the latest write access to r in block b strictly
+// before the given order.
+func (ag *arcGen) latestWriterBefore(b *Block, order int, r string) (accessEntry, bool) {
+	accesses := ag.regAccesses(b, r)
+	for i := len(accesses) - 1; i >= 0; i-- {
+		a := accesses[i]
+		if a.order(ag.g) >= order {
+			continue
+		}
+		if a.writes {
+			return a, true
+		}
+	}
+	return accessEntry{}, false
+}
+
+// regAllocArcs adds anti-dependency arcs: every reader of a register's old
+// value must precede the next write.
+func (ag *arcGen) regAllocArcs() {
+	g := ag.g
+	for _, b := range g.Blocks {
+		for _, r := range ag.allRegs() {
+			accesses := ag.regAccesses(b, r)
+			prevWrite := -1 // index of previous write access
+			for i, w := range accesses {
+				if !w.writes {
+					continue
+				}
+				readersBetween := false
+				for j := prevWrite + 1; j < i; j++ {
+					m := accesses[j]
+					if !m.reads {
+						continue
+					}
+					readersBetween = true
+					from, br := m.out(g)
+					to := w.in(g)
+					if from == to {
+						continue
+					}
+					g.AddArc(&Arc{From: from, To: to, Kind: ArcRegAlloc, Branch: br, Note: r})
+				}
+				// Output dependency: consecutive writes with no reader
+				// between them are otherwise unordered, and the register
+				// must end up with the later value.
+				if prevWrite >= 0 && !readersBetween {
+					p := accesses[prevWrite]
+					from, br := p.out(g)
+					to := w.in(g)
+					if from != to {
+						g.AddArc(&Arc{From: from, To: to, Kind: ArcRegAlloc, Branch: br, Note: r})
+					}
+				}
+				prevWrite = i
+			}
+		}
+	}
+}
+
+// assignGroups classifies incoming arc groups for LOOP and ENDIF nodes.
+func (ag *arcGen) assignGroups() {
+	g := ag.g
+	for _, b := range g.Blocks {
+		switch b.Kind {
+		case BlockLoop:
+			for _, a := range g.In(b.Root) {
+				if a.From == b.End {
+					a.Group = GroupRepeat
+				} else {
+					a.Group = GroupEnter
+				}
+			}
+		case BlockIf:
+			for _, a := range g.In(b.End) {
+				if a.From == b.Root && a.Branch == OutFalse {
+					a.Group = GroupElse
+				} else {
+					a.Group = GroupThen
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package cdfg
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildDiffeq constructs the DIFFEQ benchmark CDFG locally (the diffeq
+// package depends on cdfg, so the tests re-declare the program here).
+func buildDiffeq(t *testing.T) *Graph {
+	t.Helper()
+	p := NewProgram("diffeq", "ALU1", "ALU2", "MUL1", "MUL2")
+	p.Const("dx", "dx2", "a")
+	p.Op("ALU1", "B", OpAdd, "dx2", "dx")
+	p.Loop("ALU2", "C")
+	p.Op("MUL1", "M1", OpMul, "U", "X1")
+	p.Op("MUL2", "M2", OpMul, "U", "dx")
+	p.Op("ALU1", "A", OpAdd, "Y", "M1")
+	p.Op("MUL1", "M1", OpMul, "A", "B")
+	p.Op("ALU1", "U", OpSub, "U", "M1")
+	p.Op("ALU2", "X", OpAdd, "X", "dx")
+	p.Op("ALU2", "Y", OpAdd, "Y", "M2")
+	p.Assign("ALU2", "X1", "X")
+	p.Op("ALU2", "C", OpLT, "X", "a")
+	p.EndLoop()
+	g, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// nodeByLabel finds a node by its printable label.
+func nodeByLabel(t *testing.T, g *Graph, label string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Label() == label {
+			return n
+		}
+	}
+	t.Fatalf("no node labeled %q in:\n%s", label, g)
+	return nil
+}
+
+func arcBetween(t *testing.T, g *Graph, from, to string) *Arc {
+	t.Helper()
+	a := g.FindArc(nodeByLabel(t, g, from).ID, nodeByLabel(t, g, to).ID)
+	if a == nil {
+		t.Fatalf("no arc %q -> %q in:\n%s", from, to, g)
+	}
+	return a
+}
+
+func noArcBetween(t *testing.T, g *Graph, from, to string) {
+	t.Helper()
+	if a := g.FindArc(nodeByLabel(t, g, from).ID, nodeByLabel(t, g, to).ID); a != nil {
+		t.Fatalf("unexpected arc %q -> %q (kind %s)", from, to, a.Kind)
+	}
+}
+
+func TestDiffeqValidates(t *testing.T) {
+	g := buildDiffeq(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("validate: %v\n%s", err, g)
+	}
+}
+
+func TestDiffeqNodeInventory(t *testing.T) {
+	g := buildDiffeq(t)
+	// START, END, B, LOOP, ENDLOOP + 9 loop body statements.
+	if got := len(g.Nodes()); got != 14 {
+		t.Errorf("node count = %d, want 14\n%s", got, g)
+	}
+	if len(g.Blocks) != 2 {
+		t.Fatalf("block count = %d, want 2", len(g.Blocks))
+	}
+	if g.Blocks[1].Kind != BlockLoop {
+		t.Errorf("block 1 kind = %v, want loop", g.Blocks[1].Kind)
+	}
+	if got := len(g.Blocks[1].Nodes); got != 9 {
+		t.Errorf("loop body node count = %d, want 9", got)
+	}
+}
+
+// TestDiffeqPaperArcs checks every constraint arc the paper names
+// explicitly in its Figure 1 discussion.
+func TestDiffeqPaperArcs(t *testing.T) {
+	g := buildDiffeq(t)
+	// "the arc (LOOP, A := Y + M1) is a control arc"
+	if a := arcBetween(t, g, "LOOP C", "A:=Y+M1"); a.Kind != ArcControl {
+		t.Errorf("LOOP->A kind = %s, want control", a.Kind)
+	}
+	// "(A := Y + M1, U := U - M1) is a scheduling arc for ALU1"
+	if a := arcBetween(t, g, "A:=Y+M1", "U:=U-M1"); a.Kind != ArcSched {
+		t.Errorf("A->U kind = %s, want sched", a.Kind)
+	}
+	// "(M1 := U * X1, A := Y + M1) ... data dependencies"
+	if a := arcBetween(t, g, "M1:=U*X1", "A:=Y+M1"); a.Kind != ArcData {
+		t.Errorf("M1a->A kind = %s, want data", a.Kind)
+	}
+	// "(A := Y + M1, M1 := A * B) ... data dependencies"
+	arcBetween(t, g, "A:=Y+M1", "M1:=A*B")
+	// "(M1 := U * X1, U := U - M1) is a register allocation constraint arc
+	// with respect to U"
+	if a := arcBetween(t, g, "M1:=U*X1", "U:=U-M1"); a.Kind != ArcRegAlloc {
+		t.Errorf("M1a->U kind = %s, want reg-alloc", a.Kind)
+	}
+	// Arc 10 of Figure 3: (M2 := U*dx, U := U-M1), anti-dependency on U.
+	if a := arcBetween(t, g, "M2:=U*dx", "U:=U-M1"); a.Kind != ArcRegAlloc {
+		t.Errorf("M2->U kind = %s, want reg-alloc", a.Kind)
+	}
+	// Arc 11: (M1 := A*B, U := U-M1), data dependency on M1.
+	if a := arcBetween(t, g, "M1:=A*B", "U:=U-M1"); a.Kind != ArcData {
+		t.Errorf("M1b->U kind = %s, want data", a.Kind)
+	}
+	// The three ENDLOOP synchronization arcs (labels 1-3) plus the FU
+	// scheduling arc 4 from C := X<a.
+	arcBetween(t, g, "U:=U-M1", "ENDLOOP")
+	arcBetween(t, g, "M1:=A*B", "ENDLOOP")
+	arcBetween(t, g, "M2:=U*dx", "ENDLOOP")
+	if a := arcBetween(t, g, "C:=X<a", "ENDLOOP"); a.Kind != ArcSched {
+		t.Errorf("C->ENDLOOP kind = %s, want sched", a.Kind)
+	}
+}
+
+func TestDiffeqEndloopInDegree(t *testing.T) {
+	g := buildDiffeq(t)
+	el := nodeByLabel(t, g, "ENDLOOP")
+	if got := len(g.In(el.ID)); got != 4 {
+		t.Errorf("ENDLOOP in-degree = %d, want 4 (three sync arcs + FU sched arc)", got)
+	}
+}
+
+func TestDiffeqLoopGroups(t *testing.T) {
+	g := buildDiffeq(t)
+	loop := nodeByLabel(t, g, "LOOP C")
+	var enter, repeat int
+	for _, a := range g.In(loop.ID) {
+		switch a.Group {
+		case GroupEnter:
+			enter++
+		case GroupRepeat:
+			repeat++
+		default:
+			t.Errorf("LOOP in-arc %d has group %d", a.ID, a.Group)
+		}
+	}
+	if repeat != 1 {
+		t.Errorf("repeat arcs = %d, want 1", repeat)
+	}
+	if enter < 1 {
+		t.Errorf("enter arcs = %d, want >= 1", enter)
+	}
+}
+
+func TestDiffeqPreLoopDataThroughRoot(t *testing.T) {
+	g := buildDiffeq(t)
+	// B is written before the loop and read inside it; the dependency must
+	// enter at the LOOP root, not cross the block boundary directly.
+	arcBetween(t, g, "B:=dx2+dx", "LOOP C")
+	noArcBetween(t, g, "B:=dx2+dx", "M1:=A*B")
+}
+
+func TestDiffeqNoCrossIterationArcs(t *testing.T) {
+	g := buildDiffeq(t)
+	// Cross-iteration dependencies (e.g. U:=U-M1 feeding next iteration's
+	// M1:=U*X1) are handled by the ENDLOOP synchronization, not by arcs.
+	noArcBetween(t, g, "U:=U-M1", "M1:=U*X1")
+	noArcBetween(t, g, "X1:=X", "M1:=U*X1")
+	noArcBetween(t, g, "C:=X<a", "LOOP C")
+}
+
+func TestDiffeqChannels(t *testing.T) {
+	g := buildDiffeq(t)
+	fufu := g.InterFUArcs(false)
+	withEnv := g.InterFUArcs(true)
+	// The paper reports 17 unoptimized channels for this CDFG; our
+	// generator produces 15 FU-to-FU arcs plus 3 environment arcs
+	// (START→B, START→LOOP, LOOP→END). Pin the exact values so
+	// regressions are visible.
+	if len(fufu) != 15 {
+		t.Errorf("FU-FU channel count = %d, want 15\n%s", len(fufu), g)
+	}
+	if len(withEnv) != 18 {
+		t.Errorf("channel count with environment = %d, want 18", len(withEnv))
+	}
+}
+
+func TestDiffeqExitBranch(t *testing.T) {
+	g := buildDiffeq(t)
+	a := arcBetween(t, g, "LOOP C", "END")
+	if a.Branch != OutFalse {
+		t.Errorf("LOOP->END branch = %d, want OutFalse", a.Branch)
+	}
+	for _, name := range []string{"M1:=U*X1", "M2:=U*dx", "A:=Y+M1", "X:=X+dx"} {
+		a := arcBetween(t, g, "LOOP C", name)
+		if a.Branch != OutTrue {
+			t.Errorf("LOOP->%s branch = %d, want OutTrue", name, a.Branch)
+		}
+	}
+}
+
+func TestProgramErrors(t *testing.T) {
+	if _, err := NewProgram("x", "FU").Op("BAD", "r", OpAdd, "a", "b").Build(); err == nil {
+		t.Error("unknown FU accepted")
+	}
+	if _, err := NewProgram("x", "FU").Loop("FU", "c").Build(); err == nil {
+		t.Error("unclosed loop accepted")
+	}
+	if _, err := NewProgram("x", "FU").EndLoop().Build(); err == nil {
+		t.Error("EndLoop without loop accepted")
+	}
+	if _, err := NewProgram("x", "FU").Const("k").Op("FU", "k", OpAdd, "a", "b").Build(); err == nil {
+		t.Error("write to constant accepted")
+	}
+	if _, err := NewProgram("x", "FU").If("FU", "c").EndLoop().Build(); err == nil {
+		t.Error("EndLoop closing an if accepted")
+	}
+}
+
+func TestIfBlockStructure(t *testing.T) {
+	p := NewProgram("gcdish", "ALU")
+	p.Op("ALU", "d", OpSub, "a", "b")
+	p.Op("ALU", "c", OpGT, "a", "b")
+	p.If("ALU", "c")
+	p.Op("ALU", "a", OpSub, "a", "b")
+	p.EndIf()
+	p.Op("ALU", "e", OpAdd, "a", "b")
+	g, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("validate: %v\n%s", err, g)
+	}
+	endif := nodeByLabel(t, g, "ENDIF")
+	var then, els int
+	for _, a := range g.In(endif.ID) {
+		switch a.Group {
+		case GroupThen:
+			then++
+		case GroupElse:
+			els++
+		}
+	}
+	if then == 0 || els != 1 {
+		t.Errorf("ENDIF groups: then=%d else=%d, want >=1 and 1", then, els)
+	}
+	// The bypass arc takes the false branch.
+	byp := arcBetween(t, g, "IF c", "ENDIF")
+	if byp.Branch != OutFalse {
+		t.Errorf("bypass branch = %d, want OutFalse", byp.Branch)
+	}
+	// e:=a+b reads the conditionally-written a: dependency must come from
+	// ENDIF, which fires on both branches.
+	arcBetween(t, g, "ENDIF", "e:=a+b")
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := buildDiffeq(t)
+	c := g.Clone()
+	nArcs := len(g.Arcs())
+	// Remove an arc from the clone; original unchanged.
+	c.RemoveArc(c.Arcs()[0].ID)
+	if len(g.Arcs()) != nArcs {
+		t.Error("clone shares arc storage with original")
+	}
+	if len(c.Arcs()) != nArcs-1 {
+		t.Error("clone arc removal failed")
+	}
+	// Mutating a clone node must not affect the original.
+	c.Nodes()[2].FU = "OTHER"
+	found := false
+	for _, n := range g.Nodes() {
+		if n.FU == "OTHER" {
+			found = true
+		}
+	}
+	if found {
+		t.Error("clone shares node storage with original")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := buildDiffeq(t)
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "cluster_", "LOOP C", "style=dashed", "style=dotted"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}
+
+func TestFUNodesOrder(t *testing.T) {
+	g := buildDiffeq(t)
+	alu1 := g.FUNodes("ALU1")
+	if len(alu1) != 3 {
+		t.Fatalf("ALU1 has %d nodes, want 3", len(alu1))
+	}
+	want := []string{"B:=dx2+dx", "A:=Y+M1", "U:=U-M1"}
+	for i, n := range alu1 {
+		if n.Label() != want[i] {
+			t.Errorf("ALU1[%d] = %s, want %s", i, n.Label(), want[i])
+		}
+	}
+}
+
+func TestStmtAccessors(t *testing.T) {
+	s := Stmt{Dst: "A", Op: OpAdd, Src1: "Y", Src2: "M1"}
+	if got := s.Reads(); len(got) != 2 || got[0] != "Y" || got[1] != "M1" {
+		t.Errorf("Reads = %v", got)
+	}
+	mv := Stmt{Dst: "X1", Op: OpMov, Src1: "X"}
+	if got := mv.Reads(); len(got) != 1 || got[0] != "X" {
+		t.Errorf("mov Reads = %v", got)
+	}
+	if mv.String() != "X1:=X" {
+		t.Errorf("mov String = %s", mv.String())
+	}
+}
+
+func TestUsesFU(t *testing.T) {
+	g := buildDiffeq(t)
+	if nodeByLabel(t, g, "X1:=X").UsesFU() {
+		t.Error("assignment node should not use its FU")
+	}
+	if !nodeByLabel(t, g, "A:=Y+M1").UsesFU() {
+		t.Error("op node should use its FU")
+	}
+	if nodeByLabel(t, g, "LOOP C").UsesFU() {
+		t.Error("LOOP should not use its FU datapath")
+	}
+}

@@ -1,0 +1,61 @@
+package cdfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the CDFG in Graphviz dot format, mirroring the paper's figure
+// conventions: functional units as columns (clusters), control arcs solid,
+// scheduling arcs dotted, data/register arcs dashed, backward arcs bold.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+	// Cluster nodes by functional unit (columns in the paper's figures).
+	byFU := map[string][]*Node{}
+	for _, n := range g.Nodes() {
+		byFU[n.FU] = append(byFU[n.FU], n)
+	}
+	for i, fu := range append([]string{""}, g.FUs...) {
+		nodes := byFU[fu]
+		if len(nodes) == 0 {
+			continue
+		}
+		if fu == "" {
+			for _, n := range nodes {
+				fmt.Fprintf(&b, "  n%d [label=%q, shape=ellipse];\n", n.ID, n.Label())
+			}
+			continue
+		}
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", i, fu)
+		for _, n := range nodes {
+			shape := "box"
+			if n.Kind == KindLoop || n.Kind == KindEndLoop || n.Kind == KindIf || n.Kind == KindEndIf {
+				shape = "diamond"
+			}
+			fmt.Fprintf(&b, "    n%d [label=%q, shape=%s];\n", n.ID, n.Label(), shape)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, a := range g.Arcs() {
+		style := "solid"
+		switch a.Kind {
+		case ArcSched:
+			style = "dotted"
+		case ArcData, ArcRegAlloc:
+			style = "dashed"
+		case ArcBackward:
+			style = "bold"
+		}
+		label := a.Note
+		if a.Branch == OutFalse {
+			label += " [F]"
+		} else if a.Branch == OutTrue {
+			label += " [T]"
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [style=%s, label=%q, fontsize=8];\n", a.From, a.To, style, strings.TrimSpace(label))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

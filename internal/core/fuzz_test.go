@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/sim"
+	"repro/internal/transform"
+)
+
+// randomProgram generates a random scheduled program: a few preamble
+// operations, a counted loop whose body spreads operations across units,
+// and optionally an owner-unit conditional. Registers hold small integers
+// so float arithmetic is exact.
+type randomProgram struct {
+	prog  *cdfg.Program
+	fus   []string
+	iters int
+	// sequential golden model
+	regs map[string]float64
+	loop []func(map[string]float64)
+	pre  []func(map[string]float64)
+}
+
+func genProgram(r *rand.Rand) *randomProgram {
+	nFU := 2 + r.Intn(2)
+	var fus []string
+	for i := 0; i < nFU; i++ {
+		fus = append(fus, fmt.Sprintf("FU%d", i))
+	}
+	rp := &randomProgram{fus: fus, regs: map[string]float64{}}
+	p := cdfg.NewProgram("fuzz", fus...)
+	rp.prog = p
+	p.Const("one")
+	p.Init("one", 1)
+	rp.regs["one"] = 1
+
+	regs := []string{"r0", "r1", "r2", "r3"}
+	for i, reg := range regs {
+		v := float64(1 + (i*3+r.Intn(5))%7)
+		p.Init(reg, v)
+		rp.regs[reg] = v
+	}
+	rp.iters = 2 + r.Intn(4)
+	p.Init("i", 0).Init("n", float64(rp.iters)).Init("run", 1)
+	p.Const("n")
+	rp.regs["i"], rp.regs["n"], rp.regs["run"] = 0, float64(rp.iters), 1
+
+	ops := []cdfg.Op{cdfg.OpAdd, cdfg.OpSub, cdfg.OpMul}
+	emitOp := func(into *[]func(map[string]float64)) {
+		fu := fus[r.Intn(len(fus))]
+		dst := regs[r.Intn(len(regs))]
+		s1 := regs[r.Intn(len(regs))]
+		s2 := regs[r.Intn(len(regs))]
+		op := ops[r.Intn(len(ops))]
+		p.Op(fu, dst, op, s1, s2)
+		*into = append(*into, func(m map[string]float64) {
+			a, b := m[s1], m[s2]
+			switch op {
+			case cdfg.OpAdd:
+				m[dst] = a + b
+			case cdfg.OpSub:
+				m[dst] = a - b
+			case cdfg.OpMul:
+				m[dst] = a * b
+			}
+		})
+	}
+	// Preamble.
+	for k := 0; k < r.Intn(3); k++ {
+		emitOp(&rp.pre)
+	}
+	// Loop owned by FU0 on `run`.
+	p.Loop(fus[0], "run")
+	body := 2 + r.Intn(4)
+	for k := 0; k < body; k++ {
+		emitOp(&rp.loop)
+	}
+	// Counter and condition, bound to the owner.
+	p.Op(fus[0], "i", cdfg.OpAdd, "i", "one")
+	p.Op(fus[0], "run", cdfg.OpLT, "i", "n")
+	rp.loop = append(rp.loop, func(m map[string]float64) {
+		m["i"]++
+		if m["i"] < m["n"] {
+			m["run"] = 1
+		} else {
+			m["run"] = 0
+		}
+	})
+	p.EndLoop()
+	return rp
+}
+
+// reference executes the golden model.
+func (rp *randomProgram) reference() map[string]float64 {
+	m := map[string]float64{}
+	for k, v := range rp.regs {
+		m[k] = v
+	}
+	for _, f := range rp.pre {
+		f(m)
+	}
+	for m["run"] != 0 {
+		for _, f := range rp.loop {
+			f(m)
+		}
+	}
+	return m
+}
+
+// TestFuzzPipelinePreservesFunction generates random scheduled programs,
+// runs the global-transform pipeline, and checks that the token semantics
+// still compute the sequential result under random delays — the central
+// soundness property of the transformations.
+func TestFuzzPipelinePreservesFunction(t *testing.T) {
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(trial) + 1000))
+		rp := genProgram(r)
+		// The multiply clamp is not expressible as a CDFG op; regenerate
+		// until the raw values stay small instead.
+		ref := rp.reference()
+		if tooBig(ref) {
+			continue // products outside exact float range: skip instance
+		}
+		g, err := rp.prog.Build()
+		if err != nil {
+			t.Fatalf("trial %d: build: %v", trial, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: validate: %v", trial, err)
+		}
+		// Token simulation before any transform.
+		checkTokenEquiv(t, trial, "untransformed", g, ref, 3)
+		// After the global pipeline (GT3 excluded: random delay draws are
+		// not guaranteed to respect the analysis model used for removal).
+		opts := transform.DefaultOptions()
+		opts.SkipGT3 = true
+		if _, _, err := transform.OptimizeGT(g, opts); err != nil {
+			t.Fatalf("trial %d: transforms: %v", trial, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: validate after transforms: %v", trial, err)
+		}
+		checkTokenEquiv(t, trial, "transformed", g, ref, 4)
+	}
+}
+
+func tooBig(m map[string]float64) bool {
+	for _, v := range m {
+		if math.Abs(v) > 1e12 {
+			return true
+		}
+	}
+	return false
+}
+
+func checkTokenEquiv(t *testing.T, trial int, stage string, g *cdfg.Graph, ref map[string]float64, seeds int) {
+	t.Helper()
+	for seed := 0; seed < seeds; seed++ {
+		res, err := sim.NewTokenSim(g.Clone(), sim.RandomDelays(int64(seed), 1, 30, 0.1, 2)).Run()
+		if err != nil {
+			t.Fatalf("trial %d %s seed %d: %v", trial, stage, seed, err)
+		}
+		if !res.Finished {
+			t.Fatalf("trial %d %s seed %d: did not finish", trial, stage, seed)
+		}
+		for _, reg := range []string{"r0", "r1", "r2", "r3", "i"} {
+			if math.Abs(res.Regs[reg]-ref[reg]) > 1e-6 {
+				t.Fatalf("trial %d %s seed %d: %s = %v, want %v\n%s",
+					trial, stage, seed, reg, res.Regs[reg], ref[reg], g)
+			}
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("trial %d %s seed %d: violations: %v", trial, stage, seed, res.Violations)
+		}
+	}
+}

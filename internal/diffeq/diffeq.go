@@ -1,0 +1,203 @@
+// Package diffeq defines the differential equation solver high-level
+// synthesis benchmark (the HAL benchmark of De Micheli's textbook) in the
+// scheduled, resource-bound form used by Yun et al. and by Theobald &
+// Nowick's DAC 2001 case study: two ALUs and two multipliers, with the loop
+// control bound to ALU2.
+//
+// The benchmark solves y” + 3xy' + 3y = 0 by forward Euler steps:
+//
+//	while (x < a) {
+//	    x1 = x + dx
+//	    u1 = u - 3*x*u*dx - 3*y*dx
+//	    y1 = y + u*dx
+//	    x = x1; u = u1; y = y1
+//	}
+//
+// In the scheduled RTL form reconstructed from the paper's prose:
+//
+//	pre-loop:  ALU1: B := dx2 + dx            (B = 3·dx, dx2 holds 2·dx)
+//	loop body: MUL1: M1 := U * X1 ; M1 := A * B
+//	           MUL2: M2 := U * dx
+//	           ALU1: A := Y + M1 ; U := U - M1
+//	           ALU2: X := X + dx ; Y := Y + M2 ; X1 := X ; C := X < a
+//	           LOOP/ENDLOOP bound to ALU2 on condition register C
+//
+// Dataflow: A = y + u·x, M1' = A·B = 3y·dx + 3x·u·dx, U' = u − M1',
+// Y' = y + u·dx, X' = x + dx — exactly the Euler update.
+package diffeq
+
+import (
+	"repro/internal/cdfg"
+)
+
+// Functional unit names of the benchmark.
+const (
+	ALU1 = "ALU1"
+	ALU2 = "ALU2"
+	MUL1 = "MUL1"
+	MUL2 = "MUL2"
+)
+
+// FUs lists the benchmark's functional units in the paper's column order.
+var FUs = []string{ALU1, ALU2, MUL1, MUL2}
+
+// Params are the environment inputs of the solver.
+type Params struct {
+	X0, Y0, U0 float64 // initial conditions
+	DX         float64 // step size
+	A          float64 // upper bound on x
+}
+
+// DefaultParams returns the parameter set used throughout the tests and
+// benchmarks: a short trajectory with a handful of iterations.
+func DefaultParams() Params {
+	return Params{X0: 0, Y0: 1, U0: 0, DX: 0.125, A: 1.0}
+}
+
+// Program builds the scheduled DIFFEQ program for the given parameters.
+func Program(p Params) *cdfg.Program {
+	pr := cdfg.NewProgram("diffeq", FUs...)
+	pr.Const("dx", "dx2", "a")
+	pr.InitAll(map[string]float64{
+		"X":   p.X0,
+		"Y":   p.Y0,
+		"U":   p.U0,
+		"X1":  p.X0, // X1 mirrors X; initialized with x0 for the first iteration
+		"dx":  p.DX,
+		"dx2": 2 * p.DX,
+		"a":   p.A,
+		"C":   b2f(p.X0 < p.A), // loop condition precomputed by the environment
+	})
+	pr.Op(ALU1, "B", cdfg.OpAdd, "dx2", "dx")
+	pr.Loop(ALU2, "C")
+	pr.Op(MUL1, "M1", cdfg.OpMul, "U", "X1")
+	pr.Op(MUL2, "M2", cdfg.OpMul, "U", "dx")
+	pr.Op(ALU1, "A", cdfg.OpAdd, "Y", "M1")
+	pr.Op(MUL1, "M1", cdfg.OpMul, "A", "B")
+	pr.Op(ALU1, "U", cdfg.OpSub, "U", "M1")
+	pr.Op(ALU2, "X", cdfg.OpAdd, "X", "dx")
+	pr.Op(ALU2, "Y", cdfg.OpAdd, "Y", "M2")
+	pr.Assign(ALU2, "X1", "X")
+	pr.Op(ALU2, "C", cdfg.OpLT, "X", "a")
+	pr.EndLoop()
+	return pr
+}
+
+// Build constructs the benchmark CDFG, panicking on builder errors (the
+// program is statically correct).
+func Build(p Params) *cdfg.Graph {
+	g, err := Program(p).Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Reference executes the scheduled program sequentially and returns the
+// final register file; this is the functional golden model every
+// synthesized implementation must match.
+func Reference(p Params) map[string]float64 {
+	r := map[string]float64{
+		"X": p.X0, "Y": p.Y0, "U": p.U0, "X1": p.X0,
+		"dx": p.DX, "dx2": 2 * p.DX, "a": p.A,
+		"C": b2f(p.X0 < p.A),
+	}
+	r["B"] = r["dx2"] + r["dx"]
+	for r["C"] != 0 {
+		r["M1"] = r["U"] * r["X1"]
+		r["M2"] = r["U"] * r["dx"]
+		r["A"] = r["Y"] + r["M1"]
+		r["M1"] = r["A"] * r["B"]
+		r["U"] = r["U"] - r["M1"]
+		r["X"] = r["X"] + r["dx"]
+		r["Y"] = r["Y"] + r["M2"]
+		r["X1"] = r["X"]
+		r["C"] = b2f(r["X"] < r["a"])
+	}
+	return r
+}
+
+// Iterations returns the number of loop iterations the reference model
+// performs for the given parameters.
+func Iterations(p Params) int {
+	n := 0
+	for x := p.X0; x < p.A; x += p.DX {
+		n++
+	}
+	return n
+}
+
+// StageRow is one row of the paper's Figure 12 (state machine comparison).
+type StageRow struct {
+	Name     string
+	Channels int
+	// Per-controller state and transition counts, indexed like FUs.
+	States      map[string]int
+	Transitions map[string]int
+}
+
+// PaperFig12 holds the published Figure 12 rows for comparison in
+// EXPERIMENTS.md and the benchmark harness.
+var PaperFig12 = []StageRow{
+	{
+		Name: "unoptimized", Channels: 17,
+		States:      map[string]int{ALU1: 26, ALU2: 45, MUL1: 21, MUL2: 12},
+		Transitions: map[string]int{ALU1: 29, ALU2: 52, MUL1: 24, MUL2: 14},
+	},
+	{
+		Name: "optimized-GT", Channels: 5,
+		States:      map[string]int{ALU1: 16, ALU2: 26, MUL1: 12, MUL2: 8},
+		Transitions: map[string]int{ALU1: 18, ALU2: 32, MUL1: 14, MUL2: 10},
+	},
+	{
+		Name: "optimized-GT-and-LT", Channels: 5,
+		States:      map[string]int{ALU1: 7, ALU2: 11, MUL1: 6, MUL2: 4},
+		Transitions: map[string]int{ALU1: 9, ALU2: 13, MUL1: 6, MUL2: 5},
+	},
+	{
+		Name: "YUN (manual)", Channels: 5,
+		States:      map[string]int{ALU1: 7, ALU2: 14, MUL1: 4, MUL2: 3},
+		Transitions: map[string]int{ALU1: 9, ALU2: 16, MUL1: 4, MUL2: 3},
+	},
+}
+
+// GateRow is one row of the paper's Figure 13 (gate-level comparison).
+type GateRow struct {
+	Controller string
+	Products   int
+	Literals   int
+}
+
+// PaperFig13Yun holds Yun et al.'s manual gate-level results (Figure 13,
+// left columns).
+var PaperFig13Yun = []GateRow{
+	{ALU1, 18, 110},
+	{ALU2, 46, 141},
+	{MUL1, 19, 41},
+	{MUL2, 10, 15},
+}
+
+// PaperFig13Ours holds the paper's automated-flow gate-level results
+// (Figure 13, right columns).
+var PaperFig13Ours = []GateRow{
+	{ALU1, 14, 83},
+	{ALU2, 40, 113},
+	{MUL1, 11, 30},
+	{MUL2, 8, 18},
+}
+
+// GateTotals sums a Figure 13 column.
+func GateTotals(rows []GateRow) (products, literals int) {
+	for _, r := range rows {
+		products += r.Products
+		literals += r.Literals
+	}
+	return
+}

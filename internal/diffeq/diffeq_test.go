@@ -1,0 +1,86 @@
+package diffeq
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReferenceMatchesClosedLoop(t *testing.T) {
+	// The scheduled RTL must implement the Euler update
+	// u' = u − 3x·u·dx − 3y·dx, y' = y + u·dx, x' = x + dx.
+	p := DefaultParams()
+	got := Reference(p)
+	x, y, u := p.X0, p.Y0, p.U0
+	for x < p.A {
+		u1 := u - 3*x*u*p.DX - 3*y*p.DX
+		y1 := y + u*p.DX
+		x1 := x + p.DX
+		x, y, u = x1, y1, u1
+	}
+	if math.Abs(got["X"]-x) > 1e-12 || math.Abs(got["Y"]-y) > 1e-12 || math.Abs(got["U"]-u) > 1e-12 {
+		t.Errorf("reference (%v,%v,%v) != closed loop (%v,%v,%v)",
+			got["X"], got["Y"], got["U"], x, y, u)
+	}
+}
+
+func TestIterations(t *testing.T) {
+	if n := Iterations(DefaultParams()); n != 8 {
+		t.Errorf("iterations = %d, want 8", n)
+	}
+	if n := Iterations(Params{X0: 2, A: 1, DX: 0.5}); n != 0 {
+		t.Errorf("empty loop iterations = %d", n)
+	}
+}
+
+func TestBuildValidates(t *testing.T) {
+	g := Build(DefaultParams())
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.FUs) != 4 {
+		t.Errorf("FUs = %v", g.FUs)
+	}
+}
+
+func TestPaperNumbersConsistent(t *testing.T) {
+	// Published Figure 13 totals must match the row sums.
+	p, l := GateTotals(PaperFig13Yun)
+	if p != 93 || l != 307 {
+		t.Errorf("Yun totals = %d/%d, want 93/307", p, l)
+	}
+	p, l = GateTotals(PaperFig13Ours)
+	if p != 73 || l != 244 {
+		t.Errorf("paper-flow totals = %d/%d, want 73/244", p, l)
+	}
+	// Figure 12 rows are complete.
+	for _, row := range PaperFig12 {
+		for _, fu := range FUs {
+			if row.States[fu] == 0 || row.Transitions[fu] == 0 {
+				t.Errorf("row %s missing %s", row.Name, fu)
+			}
+		}
+	}
+	if PaperFig12[0].Channels != 17 || PaperFig12[1].Channels != 5 {
+		t.Error("published channel counts wrong")
+	}
+}
+
+func TestInitialConditionVariants(t *testing.T) {
+	cases := []Params{
+		{X0: 0, Y0: 1, U0: 0, DX: 0.25, A: 1},
+		{X0: 0.5, Y0: 2, U0: -1, DX: 0.125, A: 2},
+		{X0: 1, Y0: 1, U0: 1, DX: 1, A: 1}, // zero iterations
+	}
+	for _, p := range cases {
+		r := Reference(p)
+		if p.X0 >= p.A {
+			if r["X"] != p.X0 || r["Y"] != p.Y0 {
+				t.Errorf("empty loop mutated state: %+v", r)
+			}
+			continue
+		}
+		if r["X"] < p.A {
+			t.Errorf("loop exited early: X=%v < a=%v", r["X"], p.A)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package explore implements design-space exploration over the transform
+// set — the "scripts" the paper names as the intended use of its
+// transformations (§2.3, §7): sequences of global and local transforms are
+// applied and scored, so a designer can trade communication cost, control
+// area and performance.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/timing"
+	"repro/internal/transform"
+)
+
+// Variant describes one point of the design space: which transforms run.
+type Variant struct {
+	Name                                        string
+	SkipGT1, SkipGT2, SkipGT3, SkipGT4, SkipGT5 bool
+	LT                                          bool
+}
+
+// AllVariants enumerates the standard exploration script: the unoptimized
+// baseline, each transform ablated from the full global pipeline, and the
+// fully optimized flows without and with local transforms.
+func AllVariants() []Variant {
+	return []Variant{
+		{Name: "baseline", SkipGT1: true, SkipGT2: true, SkipGT3: true, SkipGT4: true, SkipGT5: true},
+		{Name: "no-GT1", SkipGT1: true},
+		{Name: "no-GT2", SkipGT2: true},
+		{Name: "no-GT3", SkipGT3: true},
+		{Name: "no-GT4", SkipGT4: true},
+		{Name: "no-GT5", SkipGT5: true},
+		{Name: "all-GT"},
+		{Name: "all-GT+LT", LT: true},
+	}
+}
+
+// Score is the evaluation of one variant.
+type Score struct {
+	Variant   Variant
+	Channels  int
+	Multiway  int
+	States    int // total controller states
+	Trans     int
+	Makespan  float64 // token-simulation finish time under the model's mean delays
+	Assumed   int     // number of timing assumptions taken
+	RunError  string
+	Simulated bool
+}
+
+// Evaluate runs one variant on a fresh clone of the graph.
+func Evaluate(g *cdfg.Graph, v Variant) Score {
+	sc := Score{Variant: v}
+	work := g.Clone()
+	opt := core.Options{
+		Level:  core.OptimizedGT,
+		Timing: timing.DefaultModel(),
+		Transform: transform.Options{
+			Timing:  timing.DefaultModel(),
+			Unroll:  3,
+			SkipGT1: v.SkipGT1, SkipGT2: v.SkipGT2, SkipGT3: v.SkipGT3,
+			SkipGT4: v.SkipGT4, SkipGT5: v.SkipGT5,
+		},
+	}
+	if v.LT {
+		opt.Level = core.OptimizedGTLT
+	}
+	s, err := core.Run(work, opt)
+	if err != nil {
+		sc.RunError = err.Error()
+		return sc
+	}
+	sc.Channels = s.Channels()
+	sc.Multiway = s.MultiwayChannels()
+	for _, m := range s.Machines {
+		sc.States += m.NumStates()
+		sc.Trans += m.NumTransitions()
+	}
+	sc.Assumed = len(s.Assumptions())
+	// Token-level makespan under the transformed graph (controller-level
+	// timing depends on the datapath model; the token makespan isolates the
+	// concurrency effect of the global transforms).
+	res, err := sim.NewTokenSim(work, sim.FromModel(timing.DefaultModel(), 1)).Run()
+	if err == nil && res.Finished {
+		sc.Makespan = res.FinishTime
+		sc.Simulated = true
+	}
+	return sc
+}
+
+// Sweep evaluates every variant.
+func Sweep(g *cdfg.Graph, variants []Variant) []Score {
+	out := make([]Score, 0, len(variants))
+	for _, v := range variants {
+		out = append(out, Evaluate(g, v))
+	}
+	return out
+}
+
+// Format renders a sweep as a table.
+func Format(scores []Score) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %9s %6s %7s %7s %9s %8s\n",
+		"variant", "#channels", "#mway", "states", "trans", "makespan", "assumed")
+	for _, sc := range scores {
+		if sc.RunError != "" {
+			fmt.Fprintf(&b, "%-12s ERROR: %s\n", sc.Variant.Name, sc.RunError)
+			continue
+		}
+		ms := "-"
+		if sc.Simulated {
+			ms = fmt.Sprintf("%9.1f", sc.Makespan)
+		}
+		fmt.Fprintf(&b, "%-12s %9d %6d %7d %7d %9s %8d\n",
+			sc.Variant.Name, sc.Channels, sc.Multiway, sc.States, sc.Trans, ms, sc.Assumed)
+	}
+	return b.String()
+}
+
+// Best returns the variant minimizing the given metric among simulated,
+// error-free scores.
+func Best(scores []Score, metric func(Score) float64) (Score, bool) {
+	var best Score
+	found := false
+	for _, sc := range scores {
+		if sc.RunError != "" {
+			continue
+		}
+		if !found || metric(sc) < metric(best) {
+			best = sc
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Pareto returns the scores not dominated on (channels, states, makespan).
+func Pareto(scores []Score) []Score {
+	var valid []Score
+	for _, sc := range scores {
+		if sc.RunError == "" && sc.Simulated {
+			valid = append(valid, sc)
+		}
+	}
+	var out []Score
+	for i, a := range valid {
+		dominated := false
+		for j, b := range valid {
+			if i == j {
+				continue
+			}
+			if b.Channels <= a.Channels && b.States <= a.States && b.Makespan <= a.Makespan &&
+				(b.Channels < a.Channels || b.States < a.States || b.Makespan < a.Makespan) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Variant.Name < out[j].Variant.Name })
+	return out
+}

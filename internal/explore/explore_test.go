@@ -1,0 +1,77 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/diffeq"
+)
+
+func TestSweepDiffeq(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	scores := Sweep(g, AllVariants())
+	if len(scores) != len(AllVariants()) {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	table := Format(scores)
+	t.Logf("\n%s", table)
+	byName := map[string]Score{}
+	for _, sc := range scores {
+		if sc.RunError != "" {
+			t.Fatalf("%s: %s", sc.Variant.Name, sc.RunError)
+		}
+		byName[sc.Variant.Name] = sc
+	}
+	// The ablations tell the paper's story: GT5 drives channel reduction,
+	// GT1 drives performance, LT drives controller size.
+	if byName["no-GT5"].Channels <= byName["all-GT"].Channels {
+		t.Errorf("removing GT5 should cost channels: %d vs %d",
+			byName["no-GT5"].Channels, byName["all-GT"].Channels)
+	}
+	// GT5 deliberately trades concurrency for wires (§3.5: added constraint
+	// arcs may delay operations), so performance claims compare the
+	// GT5-free points: GT1–GT4 must beat the baseline, and dropping GT1
+	// from them must cost performance.
+	if byName["no-GT5"].Makespan >= byName["baseline"].Makespan {
+		t.Errorf("GT1-GT4 should beat the baseline: %.1f vs %.1f",
+			byName["no-GT5"].Makespan, byName["baseline"].Makespan)
+	}
+	if byName["no-GT1"].Makespan <= byName["no-GT5"].Makespan {
+		t.Errorf("removing GT1 should cost performance: %.1f vs %.1f",
+			byName["no-GT1"].Makespan, byName["no-GT5"].Makespan)
+	}
+	if byName["all-GT+LT"].States >= byName["all-GT"].States {
+		t.Errorf("LT should shrink controllers: %d vs %d",
+			byName["all-GT+LT"].States, byName["all-GT"].States)
+	}
+	if byName["baseline"].Channels <= byName["all-GT"].Channels {
+		t.Error("baseline should have more channels than the optimized flow")
+	}
+	if !strings.Contains(table, "all-GT+LT") {
+		t.Error("table missing variants")
+	}
+}
+
+func TestBestAndPareto(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	scores := Sweep(g, AllVariants())
+	best, ok := Best(scores, func(s Score) float64 { return float64(s.Channels) })
+	if !ok {
+		t.Fatal("no best")
+	}
+	if best.Channels > 5 {
+		t.Errorf("best channel count = %d, want <= 5", best.Channels)
+	}
+	pareto := Pareto(scores)
+	if len(pareto) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	// The fully optimized variants must be on the front.
+	names := map[string]bool{}
+	for _, sc := range pareto {
+		names[sc.Variant.Name] = true
+	}
+	if !names["all-GT"] && !names["all-GT+LT"] {
+		t.Errorf("optimized flow missing from Pareto front: %v", names)
+	}
+}

@@ -1,0 +1,330 @@
+// Package extract translates an optimized CDFG plus its channel plan into
+// one extended burst-mode AFSM per functional unit controller (§4 of the
+// paper).
+//
+// Each CDFG node becomes a burst-mode fragment implementing the basic
+// protocol: (a) wait for ready events from other controllers, (b) drive the
+// datapath micro-operations — set input muxes, perform the operation, set
+// the destination register mux, latch — each as a req/ack pair, (c) reset
+// local signals and send done events. Fragments are stitched in schedule
+// order; loop structure becomes a conditional cycle in the owner's machine
+// and a plain cycle in the other machines. Global wire phases are assigned
+// from the total event order that GT5 guarantees per wire; wires used an
+// odd number of times per iteration use toggle edges. Early request arrival
+// is back-annotated as directed don't-cares.
+package extract
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bm"
+	"repro/internal/cdfg"
+	"repro/internal/transform"
+)
+
+// Options tunes extraction.
+type Options struct {
+	// SeparateWaits emits one wait transition per incoming wire event when
+	// the events are ordered (the naive unoptimized translation); when
+	// false, simultaneous waits merge into a single input burst.
+	SeparateWaits bool
+}
+
+// WireEvent locates a constraint arc's event on a physical wire.
+type WireEvent struct {
+	Wire string
+	Edge bm.Edge
+	Seq  int // position in the wire's per-execution event order
+}
+
+// Result is the outcome of controller extraction.
+type Result struct {
+	Machines map[string]*bm.Machine
+	Wires    map[cdfg.ArcID]WireEvent
+	// CondInput names the sampled level input per controller (loop/if
+	// conditions), if any.
+	CondInputs map[string][]string
+	// Primers lists wires that must be primed once at reset (backward
+	// arcs are pre-enabled for the first iteration): wire → initial edge.
+	// In hardware this is the reset logic initializing the ready line.
+	Primers map[string]bm.Edge
+}
+
+// Extract builds one burst-mode machine per functional unit.
+func Extract(g *cdfg.Graph, plan *transform.Plan, opt Options) (*Result, error) {
+	ex := &extractor{
+		g:    g,
+		plan: plan,
+		opt:  opt,
+		res: &Result{
+			Machines:   map[string]*bm.Machine{},
+			Wires:      map[cdfg.ArcID]WireEvent{},
+			CondInputs: map[string][]string{},
+			Primers:    map[string]bm.Edge{},
+		},
+	}
+	ex.reach = cdfg.NewReach(g)
+	if err := ex.assignWires(); err != nil {
+		return nil, err
+	}
+	for _, fu := range g.FUs {
+		if len(g.FUNodes(fu)) == 0 {
+			continue // unit unused by this schedule: no controller
+		}
+		m, err := ex.buildController(fu)
+		if err != nil {
+			return nil, fmt.Errorf("extract %s: %w", fu, err)
+		}
+		ex.res.Machines[fu] = m
+	}
+	ex.backAnnotate()
+	// Primed wires start high at reset: record that on the sender machine
+	// so polarity tracking and synthesis see the right initial level.
+	for wire := range ex.res.Primers {
+		for _, m := range ex.res.Machines {
+			for _, out := range m.Outputs {
+				if out == wire {
+					m.InitialHigh = append(m.InitialHigh, wire)
+				}
+			}
+		}
+	}
+	return ex.res, nil
+}
+
+type extractor struct {
+	g     *cdfg.Graph
+	plan  *transform.Plan
+	opt   Options
+	reach *cdfg.Reach
+	res   *Result
+}
+
+// assignWires names every channel and environment wire and computes the
+// edge (phase) of each arc's event from the wire's total event order.
+func (ex *extractor) assignWires() error {
+	for _, ch := range ex.plan.Channels {
+		name := fmt.Sprintf("w%d_%s", ch.ID, ch.Sender)
+		if err := ex.phaseWire(name, ch.Arcs); err != nil {
+			return err
+		}
+	}
+	for i, a := range ex.plan.Env {
+		from := ex.g.Node(a.From)
+		name := fmt.Sprintf("start%d", i)
+		if from.Kind != cdfg.KindStart {
+			name = fmt.Sprintf("fin%d", i)
+		}
+		ex.res.Wires[a.ID] = WireEvent{Wire: name, Edge: bm.Rise}
+	}
+	return nil
+}
+
+// phaseWire orders a wire's events and assigns phases. The order per
+// execution: primer events (startup emissions pre-enabling backward
+// constraints), then events from once-firing sources, then per-iteration
+// events in precedence order. Phases alternate from an initially-low wire;
+// when the per-iteration event count is odd — or a primer's parity
+// mismatches its source event's — phases are iteration-dependent and the
+// wire's events become toggles.
+func (ex *extractor) phaseWire(name string, arcs []*cdfg.Arc) error {
+	var once, repeated []*cdfg.Arc
+	for _, a := range arcs {
+		if ex.reach.FiresRepeatedly(a.From) {
+			repeated = append(repeated, a)
+		} else {
+			once = append(once, a)
+		}
+	}
+	byPrecedence := func(list []*cdfg.Arc) {
+		sort.SliceStable(list, func(i, j int) bool {
+			if list[i].From == list[j].From {
+				return list[i].ID < list[j].ID
+			}
+			return ex.reach.Precedes(list[i].From, list[j].From)
+		})
+	}
+	byPrecedence(once)
+	byPrecedence(repeated)
+
+	// Distinct sources (arcs sharing a source share one event); primer
+	// sources are repeated sources with a backward arc on this wire.
+	primerOf := map[cdfg.NodeID]bool{}
+	for _, a := range repeated {
+		if a.Kind == cdfg.ArcBackward {
+			primerOf[a.From] = true
+		}
+	}
+	if len(primerOf) > 1 {
+		return fmt.Errorf("extract: wire %s needs %d primer events; at most one backward-arc source per wire is supported", name, len(primerOf))
+	}
+	idx := map[cdfg.NodeID]int{}
+	events := 0
+	for _, a := range repeated {
+		if primerOf[a.From] {
+			// Reserve event 0 for the primer itself.
+			events = 1
+			break
+		}
+	}
+	for _, a := range once {
+		if _, ok := idx[a.From]; !ok {
+			idx[a.From] = events
+			events++
+		}
+	}
+	perIter := 0
+	for _, a := range repeated {
+		if _, ok := idx[a.From]; !ok {
+			idx[a.From] = events
+			events++
+			perIter++
+		}
+	}
+	toggling := perIter%2 == 1
+	for src := range primerOf {
+		if idx[src]%2 != 0 {
+			toggling = true // primer (event 0) parity differs from the source's
+		}
+	}
+	if len(primerOf) > 0 {
+		// The reset logic primes the wire with its first event.
+		ex.res.Primers[name] = bm.Rise
+	}
+	for _, a := range arcs {
+		i := idx[a.From]
+		edge := bm.Toggle
+		if !toggling {
+			if i%2 == 0 {
+				edge = bm.Rise
+			} else {
+				edge = bm.Fall
+			}
+		}
+		ex.res.Wires[a.ID] = WireEvent{Wire: name, Edge: edge, Seq: i}
+	}
+	return nil
+}
+
+// backAnnotate marks global wire inputs as directed don't-cares on every
+// transition that does not consume them (§4.2 step 4): requests may arrive
+// arbitrarily early relative to the controller's local progress, so the
+// synthesized logic must not depend on their level elsewhere.
+func (ex *extractor) backAnnotate() {
+	for _, m := range ex.res.Machines {
+		for _, sig := range m.Inputs {
+			if !bm.IsWire(sig) {
+				continue
+			}
+			for _, t := range m.Transitions {
+				if !t.HasInput(sig) {
+					t.Free = append(t.Free, sig)
+				}
+			}
+		}
+	}
+}
+
+// controller-side helpers -------------------------------------------------
+
+// waitsFor returns the wire events node n must consume: its in-arcs whose
+// source belongs to another unit or the environment, ordered by the
+// producing nodes' precedence.
+func (ex *extractor) waitsFor(n *cdfg.Node) []cdfg.ArcID {
+	var arcs []*cdfg.Arc
+	for _, a := range ex.g.In(n.ID) {
+		from := ex.g.Node(a.From)
+		if from.FU == n.FU && from.FU != "" {
+			continue
+		}
+		if _, ok := ex.res.Wires[a.ID]; !ok {
+			continue
+		}
+		arcs = append(arcs, a)
+	}
+	sort.SliceStable(arcs, func(i, j int) bool {
+		// Backward arcs deliver events produced in the previous iteration,
+		// so they are consumed before any same-iteration event.
+		bi, bj := arcs[i].Kind == cdfg.ArcBackward, arcs[j].Kind == cdfg.ArcBackward
+		if bi != bj {
+			return bi
+		}
+		if arcs[i].From == arcs[j].From {
+			return arcs[i].ID < arcs[j].ID
+		}
+		return ex.reach.Precedes(arcs[i].From, arcs[j].From)
+	})
+	out := make([]cdfg.ArcID, len(arcs))
+	for i, a := range arcs {
+		out[i] = a.ID
+	}
+	return out
+}
+
+// donesFor returns the wire events node n produces on the given branch:
+// out-arcs crossing to other units or the environment, deduplicated per
+// wire (arcs sharing the source node share one event).
+func (ex *extractor) donesFor(n *cdfg.Node, branch cdfg.OutBranch) []bm.Event {
+	seen := map[string]bool{}
+	var out []bm.Event
+	for _, a := range ex.g.Out(n.ID) {
+		if a.Branch != branch {
+			continue
+		}
+		to := ex.g.Node(a.To)
+		if to.FU == n.FU && to.FU != "" {
+			continue
+		}
+		we, ok := ex.res.Wires[a.ID]
+		if !ok {
+			continue
+		}
+		if seen[we.Wire] {
+			continue
+		}
+		seen[we.Wire] = true
+		out = append(out, bm.Event{Signal: we.Wire, Edge: we.Edge})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Signal < out[j].Signal })
+	return out
+}
+
+// waitEvents converts wait arcs to burst events grouped into sequential
+// bursts: events whose producers are strictly ordered can be consumed in
+// separate transitions (SeparateWaits) or merged; events on the same wire
+// must always be sequential.
+func (ex *extractor) waitEvents(arcIDs []cdfg.ArcID) [][]bm.Event {
+	var groups [][]bm.Event
+	var cur []bm.Event
+	curWires := map[string]bool{}
+	flush := func() {
+		if len(cur) > 0 {
+			groups = append(groups, cur)
+			cur = nil
+			curWires = map[string]bool{}
+		}
+	}
+	for _, id := range arcIDs {
+		we := ex.res.Wires[id]
+		ev := bm.Event{Signal: we.Wire, Edge: we.Edge}
+		if ex.opt.SeparateWaits || curWires[we.Wire] {
+			flush()
+		}
+		// Skip duplicate events (two arcs with the same source on one wire
+		// consumed by the same node).
+		dup := false
+		for _, e := range cur {
+			if e.Signal == ev.Signal {
+				dup = true
+			}
+		}
+		if dup {
+			continue
+		}
+		cur = append(cur, ev)
+		curWires[we.Wire] = true
+	}
+	flush()
+	return groups
+}

@@ -1,0 +1,256 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bm"
+	"repro/internal/cdfg"
+	"repro/internal/diffeq"
+	"repro/internal/transform"
+)
+
+// extractDiffeq builds and extracts the benchmark at one of the three
+// experiment levels: "unoptimized", "gt".
+func extractDiffeq(t *testing.T, level string) (*cdfg.Graph, *Result) {
+	t.Helper()
+	g := diffeq.Build(diffeq.DefaultParams())
+	var plan *transform.Plan
+	opt := Options{}
+	switch level {
+	case "unoptimized":
+		plan = transform.BuildChannels(g)
+		opt.SeparateWaits = true
+	case "gt":
+		var err error
+		plan, _, err = transform.OptimizeGT(g, transform.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("unknown level %s", level)
+	}
+	res, err := Extract(g, plan, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, res
+}
+
+func TestExtractUnoptimizedValidates(t *testing.T) {
+	_, res := extractDiffeq(t, "unoptimized")
+	if len(res.Machines) != 4 {
+		t.Fatalf("machines = %d, want 4", len(res.Machines))
+	}
+	for fu, m := range res.Machines {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v\n%s", fu, err, m)
+		}
+	}
+}
+
+func TestExtractGTValidates(t *testing.T) {
+	_, res := extractDiffeq(t, "gt")
+	for fu, m := range res.Machines {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v\n%s", fu, err, m)
+		}
+	}
+}
+
+// Figure 12 shape: ALU2 is the largest machine, MUL2 the smallest, and the
+// GT level shrinks every controller relative to unoptimized.
+func TestExtractFigure12Shape(t *testing.T) {
+	_, unopt := extractDiffeq(t, "unoptimized")
+	_, gt := extractDiffeq(t, "gt")
+	totalU, totalG := 0, 0
+	for _, fu := range diffeq.FUs {
+		u, g := unopt.Machines[fu], gt.Machines[fu]
+		t.Logf("%s: unopt %d/%d, GT %d/%d", fu, u.NumStates(), u.NumTransitions(), g.NumStates(), g.NumTransitions())
+		totalU += u.NumStates()
+		totalG += g.NumStates()
+	}
+	if totalG >= totalU {
+		t.Errorf("GT total states %d >= unoptimized %d", totalG, totalU)
+	}
+	// The two big controllers must individually shrink.
+	for _, fu := range []string{diffeq.ALU1, diffeq.ALU2} {
+		if gt.Machines[fu].NumStates() >= unopt.Machines[fu].NumStates() {
+			t.Errorf("%s: GT states %d >= unoptimized %d", fu,
+				gt.Machines[fu].NumStates(), unopt.Machines[fu].NumStates())
+		}
+	}
+	// Relative sizes as in the paper: ALU2 largest, MUL2 smallest.
+	u := unopt.Machines
+	if u[diffeq.ALU2].NumStates() <= u[diffeq.ALU1].NumStates() {
+		t.Errorf("ALU2 (%d) should be larger than ALU1 (%d)", u[diffeq.ALU2].NumStates(), u[diffeq.ALU1].NumStates())
+	}
+	if u[diffeq.MUL2].NumStates() >= u[diffeq.MUL1].NumStates() {
+		t.Errorf("MUL2 (%d) should be smaller than MUL1 (%d)", u[diffeq.MUL2].NumStates(), u[diffeq.MUL1].NumStates())
+	}
+}
+
+// Figure 10/11: the ALU1 controller contains the A:=Y+M1 fragment with the
+// six micro-operation structure.
+func TestExtractALU1Fragment(t *testing.T) {
+	_, res := extractDiffeq(t, "unoptimized")
+	m := res.Machines[diffeq.ALU1]
+	s := m.String()
+	for _, micro := range []string{"A:=Y+M1 (i)", "A:=Y+M1 (ii)", "A:=Y+M1 (iii)", "A:=Y+M1 (iv)", "A:=Y+M1 (v)", "A:=Y+M1 (vi)"} {
+		if !strings.Contains(s, micro) {
+			t.Errorf("ALU1 machine missing micro-operation %q:\n%s", micro, s)
+		}
+	}
+	// The fragment drives the datapath: input mux selects, operation go,
+	// register mux, latch.
+	for _, sig := range []string{"selA_Y", "selB_M1", "go_add", "ws_A", "wr_A"} {
+		found := false
+		for _, o := range m.Outputs {
+			if o == sig {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("ALU1 outputs missing %s (have %v)", sig, m.Outputs)
+		}
+	}
+}
+
+func TestExtractLoopConditional(t *testing.T) {
+	_, res := extractDiffeq(t, "gt")
+	m := res.Machines[diffeq.ALU2]
+	if len(m.Levels) != 1 || m.Levels[0] != "C" {
+		t.Errorf("ALU2 levels = %v, want [C]", m.Levels)
+	}
+	// Both polarities of the condition appear (repeat and exit).
+	var hasTrue, hasFalse bool
+	for _, tr := range m.Transitions {
+		for _, c := range tr.Cond {
+			if c.Signal == "C" && c.Value {
+				hasTrue = true
+			}
+			if c.Signal == "C" && !c.Value {
+				hasFalse = true
+			}
+		}
+	}
+	if !hasTrue || !hasFalse {
+		t.Errorf("ALU2 missing conditional branches: true=%v false=%v", hasTrue, hasFalse)
+	}
+}
+
+func TestExtractPrimerEmitted(t *testing.T) {
+	// After GT1, ALU1 sources the backward arcs (8, 9); the shared wire
+	// must be primed at reset (pre-enabled for the first iteration), and
+	// the sender machine must record the wire's high reset level.
+	g, res := extractDiffeq(t, "gt")
+	var wire string
+	for _, a := range g.Arcs() {
+		if a.Kind == cdfg.ArcBackward {
+			wire = res.Wires[a.ID].Wire
+		}
+	}
+	if wire == "" {
+		t.Fatal("no backward arcs found after GT")
+	}
+	if _, ok := res.Primers[wire]; !ok {
+		t.Errorf("wire %s not primed: %v", wire, res.Primers)
+	}
+	high := false
+	for _, sig := range res.Machines[diffeq.ALU1].InitialHigh {
+		if sig == wire {
+			high = true
+		}
+	}
+	if !high {
+		t.Errorf("sender machine does not mark %s initially high", wire)
+	}
+}
+
+func TestExtractWirePhases(t *testing.T) {
+	g, res := extractDiffeq(t, "gt")
+	// Every arc on a channel is mapped to a wire event.
+	for _, ch := range transform.BuildChannels(g).Channels {
+		for _, a := range ch.Arcs {
+			if _, ok := res.Wires[a.ID]; !ok {
+				t.Errorf("arc %d (n%d→n%d) has no wire event", a.ID, a.From, a.To)
+			}
+		}
+	}
+}
+
+func TestExtractBackAnnotation(t *testing.T) {
+	_, res := extractDiffeq(t, "gt")
+	m := res.Machines[diffeq.ALU1]
+	// Global wires are free on non-consuming transitions.
+	freeSeen := false
+	for _, tr := range m.Transitions {
+		for _, f := range tr.Free {
+			if !bm.IsWire(f) {
+				t.Errorf("non-wire signal %s marked free", f)
+			}
+			if tr.HasInput(f) {
+				t.Errorf("signal %s both consumed and free on %s", f, tr)
+			}
+			freeSeen = true
+		}
+	}
+	if !freeSeen {
+		t.Error("no directed don't-cares back-annotated")
+	}
+}
+
+func TestIsWire(t *testing.T) {
+	for _, s := range []string{"w3_ALU1", "start0", "fin2"} {
+		if !bm.IsWire(s) {
+			t.Errorf("%s should be a wire", s)
+		}
+	}
+	for _, s := range []string{"selA_Y", "wr_A", "go_add", "ws_A_a", "C"} {
+		if bm.IsWire(s) {
+			t.Errorf("%s should not be a wire", s)
+		}
+	}
+}
+
+func TestExtractIfProgram(t *testing.T) {
+	p := cdfg.NewProgram("cond", "ALU")
+	p.Init("c", 1).Init("a", 5).Init("b", 3)
+	p.Op("ALU", "c", cdfg.OpGT, "a", "b")
+	p.If("ALU", "c")
+	p.Op("ALU", "a", cdfg.OpSub, "a", "b")
+	p.EndIf()
+	p.Op("ALU", "d", cdfg.OpAdd, "a", "b")
+	g, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := transform.BuildChannels(g)
+	res, err := Extract(g, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Machines["ALU"]
+	if err := m.Validate(); err != nil {
+		t.Fatalf("%v\n%s", err, m)
+	}
+	if len(m.Levels) != 1 || m.Levels[0] != "c" {
+		t.Errorf("levels = %v", m.Levels)
+	}
+}
+
+func TestExtractUnsupportedForeignIf(t *testing.T) {
+	p := cdfg.NewProgram("bad", "A", "B")
+	p.Init("c", 1)
+	p.Op("A", "c", cdfg.OpGT, "x", "y")
+	p.If("A", "c")
+	p.Op("B", "z", cdfg.OpAdd, "x", "y") // foreign unit inside the conditional
+	p.EndIf()
+	g, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Extract(g, transform.BuildChannels(g), Options{}); err == nil {
+		t.Error("foreign unit inside if accepted")
+	}
+}

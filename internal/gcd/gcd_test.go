@@ -1,0 +1,125 @@
+package gcd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestReference(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{12, 18, 6}, {7, 13, 1}, {9, 9, 9}, {25, 10, 5}, {100, 36, 4},
+	}
+	for _, tc := range cases {
+		if got := Reference(tc.a, tc.b); got != tc.want {
+			t.Errorf("gcd(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestTokenSimulation(t *testing.T) {
+	for _, tc := range [][2]float64{{12, 18}, {7, 13}, {25, 10}} {
+		for seed := int64(0); seed < 5; seed++ {
+			g := Build(tc[0], tc[1])
+			res, err := sim.NewTokenSim(g, sim.RandomDelays(seed, 1, 30, 0.1, 2)).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := Reference(tc[0], tc[1])
+			if res.Regs["a"] != want {
+				t.Errorf("gcd(%v,%v) = %v, want %v", tc[0], tc[1], res.Regs["a"], want)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("violations: %v", res.Violations)
+			}
+		}
+	}
+}
+
+// The GCD benchmark runs the full flow: global transforms, extraction with
+// conditional controllers, local transforms, and controller-level
+// simulation.
+func TestFullFlowAllLevels(t *testing.T) {
+	for _, level := range []core.Level{core.Unoptimized, core.OptimizedGT, core.OptimizedGTLT} {
+		for _, tc := range [][2]float64{{12, 18}, {25, 10}} {
+			opt := core.DefaultOptions()
+			opt.Level = level
+			s, err := core.Run(Build(tc[0], tc[1]), opt)
+			if err != nil {
+				t.Fatalf("%s gcd(%v,%v): %v", level, tc[0], tc[1], err)
+			}
+			want := Reference(tc[0], tc[1])
+			for seed := int64(0); seed < 4; seed++ {
+				res, err := s.Simulate(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(res.Regs["a"]-want) > 1e-9 {
+					t.Errorf("%s gcd(%v,%v) seed %d: a = %v, want %v",
+						level, tc[0], tc[1], seed, res.Regs["a"], want)
+				}
+				if len(res.Violations) != 0 {
+					t.Fatalf("%s seed %d: %v", level, seed, res.Violations)
+				}
+			}
+		}
+	}
+}
+
+func TestGTReducesChannels(t *testing.T) {
+	unopt, err := core.Run(Build(12, 18), core.Options{Level: core.Unoptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := core.Run(Build(12, 18), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("gcd channels: %d → %d", unopt.Channels(), opt.Channels())
+	if opt.Channels() >= unopt.Channels() {
+		t.Errorf("GT did not reduce channels: %d → %d", unopt.Channels(), opt.Channels())
+	}
+}
+
+func TestSynthesizesToLogic(t *testing.T) {
+	s, err := core.Run(Build(12, 18), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.SynthesizeLogic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fu, r := range results {
+		if r.Products == 0 {
+			t.Errorf("%s: empty logic", fu)
+		}
+		t.Logf("%s", r.Summary())
+	}
+}
+
+// Gate-level closure: the synthesized logic computes GCD.
+func TestGateLevelGCD(t *testing.T) {
+	s, err := core.Run(Build(12, 18), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.SynthesizeLogic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		res, err := s.GateSimulate(results, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Regs["a"] != 6 {
+			t.Errorf("seed %d: a = %v, want 6", seed, res.Regs["a"])
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("seed %d: %v", seed, res.Violations)
+		}
+	}
+}

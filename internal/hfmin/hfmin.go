@@ -1,0 +1,388 @@
+// Package hfmin implements hazard-free two-level logic minimization for
+// functions specified by multiple-input-change transitions, following the
+// required-cube / dhf-prime-implicant framework of Nowick–Dill and the exact
+// and heuristic algorithms of Theobald–Nowick (TCAD'98). It stands in for
+// the MINIMALIST and 3D minimizers used in the paper.
+//
+// A specification is a set of input transitions. Each transition is a cube
+// [A,B] (the supercube of start and end states) together with the function
+// behaviour: static 0, static 1, falling (1→0) or rising (0→1). Within a
+// dynamic transition the function changes exactly when the full input burst
+// has arrived, which is the extended-burst-mode semantics of the paper's
+// controllers.
+//
+// The minimizer computes, per transition:
+//
+//   - ON-set and OFF-set care cubes;
+//   - required cubes: subfunctions that must each be covered by a single
+//     product to avoid logic hazards;
+//   - privileged cubes: dynamic transition cubes that no product may
+//     intersect without containing the transition's ON end state.
+//
+// It then generates dynamic-hazard-free prime implicants (expansions of
+// required cubes against the OFF-set, shrunk to remove illegal
+// intersections) and solves a unate covering problem, minimizing product
+// count first and literal count second.
+package hfmin
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Kind classifies the function behaviour over one input transition.
+type Kind int
+
+// Transition kinds.
+const (
+	Static0 Kind = iota // f = 0 throughout the transition
+	Static1             // f = 1 throughout the transition
+	Fall                // f: 1 → 0 (falls when the full burst has arrived)
+	Rise                // f: 0 → 1 (rises when the full burst has arrived)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Static0:
+		return "0->0"
+	case Static1:
+		return "1->1"
+	case Fall:
+		return "1->0"
+	case Rise:
+		return "0->1"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Transition is one specified multiple-input-change transition of the
+// function.
+type Transition struct {
+	// Start and End are the start and end input subcubes. Directed
+	// don't-care inputs appear as dashes in both. Start and End must agree
+	// on all variables bound in both except the changing variables.
+	Start, End logic.Cube
+	Kind       Kind
+}
+
+// Cube returns the transition cube [Start, End].
+func (t Transition) Cube() logic.Cube { return t.Start.Supercube(t.End) }
+
+// changing returns the variables on which Start and End conflict.
+func (t Transition) changing() []int {
+	var vars []int
+	for i := 0; i < t.Start.N(); i++ {
+		s, e := t.Start.Get(i), t.End.Get(i)
+		if s != logic.Dash && e != logic.Dash && s != e {
+			vars = append(vars, i)
+		}
+	}
+	return vars
+}
+
+// Spec is a complete transition specification of a single-output function.
+type Spec struct {
+	N           int // number of input variables
+	Transitions []Transition
+}
+
+// Result reports details of a minimization.
+type Result struct {
+	Cover      logic.Cover
+	OnSet      logic.Cover
+	OffSet     logic.Cover
+	Required   []logic.Cube
+	Privileged []Privileged
+	Primes     []logic.Cube
+	Exact      bool // covering solved exactly
+}
+
+// Privileged is a dynamic transition cube with the subcube every
+// intersecting product must contain.
+type Privileged struct {
+	Trans logic.Cube // the transition cube
+	Need  logic.Cube // products intersecting Trans must contain Need
+}
+
+// Products returns the product count of the minimized cover.
+func (r Result) Products() int { return r.Cover.Len() }
+
+// Literals returns the literal count of the minimized cover.
+func (r Result) Literals() int { return r.Cover.Literals() }
+
+// Analyze derives the ON-set, OFF-set, required cubes and privileged cubes
+// of a specification without minimizing.
+func Analyze(spec Spec) (Result, error) {
+	var res Result
+	res.OnSet = logic.Cover{N: spec.N}
+	res.OffSet = logic.Cover{N: spec.N}
+	var onSrc, offSrc []int
+	seenReq := map[[2]uint64]bool{}
+	addReq := func(c logic.Cube) {
+		if c.IsEmpty() {
+			return
+		}
+		if !seenReq[c.Key()] {
+			seenReq[c.Key()] = true
+			res.Required = append(res.Required, c)
+		}
+	}
+	for i, t := range spec.Transitions {
+		if t.Start.N() != spec.N || t.End.N() != spec.N {
+			return res, fmt.Errorf("hfmin: transition %d arity mismatch", i)
+		}
+		T := t.Cube()
+		trackOn := func(c logic.Cube) {
+			if !c.IsEmpty() {
+				onSrc = append(onSrc, i)
+			}
+		}
+		trackOff := func(c logic.Cube) {
+			if !c.IsEmpty() {
+				offSrc = append(offSrc, i)
+			}
+		}
+		switch t.Kind {
+		case Static0:
+			trackOff(T)
+			res.OffSet.Add(T)
+		case Static1:
+			trackOn(T)
+			res.OnSet.Add(T)
+			addReq(T)
+		case Fall:
+			ch := t.changing()
+			if len(ch) == 0 {
+				return res, fmt.Errorf("hfmin: falling transition %d has no changing variables", i)
+			}
+			endCube := endSubcube(T, t.End, ch)
+			trackOff(endCube)
+			res.OffSet.Add(endCube)
+			for _, v := range ch {
+				on := T.With(v, t.Start.Get(v))
+				trackOn(on)
+				res.OnSet.Add(on)
+				addReq(on)
+			}
+			res.Privileged = append(res.Privileged, Privileged{Trans: T, Need: startSubcube(T, t.Start, ch)})
+		case Rise:
+			ch := t.changing()
+			if len(ch) == 0 {
+				return res, fmt.Errorf("hfmin: rising transition %d has no changing variables", i)
+			}
+			endCube := endSubcube(T, t.End, ch)
+			trackOn(endCube)
+			res.OnSet.Add(endCube)
+			addReq(endCube)
+			for _, v := range ch {
+				off := T.With(v, t.Start.Get(v))
+				trackOff(off)
+				res.OffSet.Add(off)
+			}
+			res.Privileged = append(res.Privileged, Privileged{Trans: T, Need: endCube})
+		default:
+			return res, fmt.Errorf("hfmin: transition %d has invalid kind %d", i, t.Kind)
+		}
+	}
+	// Consistency: ON and OFF care sets must not overlap.
+	for oi, on := range res.OnSet.Cubes {
+		for fi, off := range res.OffSet.Cubes {
+			if on.Intersects(off) {
+				return res, fmt.Errorf("hfmin: inconsistent specification: ON cube %s (transition %d: %s %s→%s) intersects OFF cube %s (transition %d: %s %s→%s)",
+					on, onSrc[oi], spec.Transitions[onSrc[oi]].Kind, spec.Transitions[onSrc[oi]].Start, spec.Transitions[onSrc[oi]].End,
+					off, offSrc[fi], spec.Transitions[offSrc[fi]].Kind, spec.Transitions[offSrc[fi]].Start, spec.Transitions[offSrc[fi]].End)
+			}
+		}
+	}
+	return res, nil
+}
+
+// endSubcube returns the transition cube restricted to the end values of the
+// changing variables.
+func endSubcube(T, end logic.Cube, changing []int) logic.Cube {
+	c := T
+	for _, v := range changing {
+		c = c.With(v, end.Get(v))
+	}
+	return c
+}
+
+// startSubcube returns the transition cube restricted to the start values of
+// the changing variables.
+func startSubcube(T, start logic.Cube, changing []int) logic.Cube {
+	c := T
+	for _, v := range changing {
+		c = c.With(v, start.Get(v))
+	}
+	return c
+}
+
+// ErrInfeasible is returned when some required cube cannot be covered by any
+// dynamic-hazard-free implicant (the specification has an unavoidable
+// hazard).
+var ErrInfeasible = errors.New("hfmin: specification has no hazard-free cover")
+
+// Minimize computes a minimum (products first, literals second) hazard-free
+// two-level cover of the specification, using exact branch-and-bound
+// covering.
+func Minimize(spec Spec) (Result, error) {
+	return minimize(spec, true)
+}
+
+// MinimizeHeuristic computes a hazard-free cover using only the greedy
+// covering heuristic — much faster on large problems, possibly more
+// products. It mirrors the fast-heuristic mode of the Theobald–Nowick
+// minimizer the paper's tool chain uses.
+func MinimizeHeuristic(spec Spec) (Result, error) {
+	return minimize(spec, false)
+}
+
+func minimize(spec Spec, exact bool) (Result, error) {
+	res, err := Analyze(spec)
+	if err != nil {
+		return res, err
+	}
+	if len(res.Required) == 0 {
+		res.Cover = logic.Cover{N: spec.N}
+		res.Exact = true
+		return res, nil
+	}
+	res.Primes = dhfPrimes(res.Required, res.OffSet, res.Privileged)
+	// Build the covering problem: every required cube needs one containing
+	// dhf-prime.
+	prob := &logic.CoveringProblem{NumCols: len(res.Primes)}
+	prob.Cost = make([]int, len(res.Primes))
+	const productWeight = 1 << 12 // lexicographic: products dominate literals
+	for i, p := range res.Primes {
+		prob.Cost[i] = productWeight + p.Literals()
+	}
+	for _, r := range res.Required {
+		var row []int
+		for i, p := range res.Primes {
+			if p.Contains(r) {
+				row = append(row, i)
+			}
+		}
+		if len(row) == 0 {
+			return res, fmt.Errorf("%w: required cube %s uncoverable", ErrInfeasible, r)
+		}
+		prob.Rows = append(prob.Rows, row)
+	}
+	var cols []int
+	if exact {
+		cols, exact = prob.Solve()
+		res.Exact = exact
+	} else {
+		cols = prob.SolveGreedy()
+		res.Exact = false
+	}
+	if cols == nil {
+		return res, ErrInfeasible
+	}
+	res.Cover = logic.Cover{N: spec.N}
+	for _, c := range cols {
+		res.Cover.Add(res.Primes[c])
+	}
+	return res, nil
+}
+
+// dhfPrimes generates the dynamic-hazard-free prime implicants relevant to
+// covering the required cubes: maximal implicants (disjoint from the
+// OFF-set) with no illegal intersection with any privileged cube.
+func dhfPrimes(required []logic.Cube, off logic.Cover, priv []Privileged) []logic.Cube {
+	primes := logic.PrimesContaining(required, off)
+	seen := map[[2]uint64]bool{}
+	var out []logic.Cube
+	var emit func(p logic.Cube)
+	emit = func(p logic.Cube) {
+		if p.IsEmpty() || seen[p.Key()] {
+			return
+		}
+		seen[p.Key()] = true
+		for _, pv := range priv {
+			if p.Intersects(pv.Trans) && !p.Contains(pv.Need) {
+				// Illegal intersection: shrink p away from the transition
+				// cube along every possible variable and recurse.
+				for v := 0; v < p.N(); v++ {
+					tv := pv.Trans.Get(v)
+					if (tv == logic.Zero || tv == logic.One) && p.Get(v) == logic.Dash {
+						flip := logic.Zero
+						if tv == logic.Zero {
+							flip = logic.One
+						}
+						emit(p.With(v, flip))
+					}
+				}
+				return
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range primes {
+		emit(p)
+	}
+	// Keep only maximal cubes.
+	var maximal []logic.Cube
+	for i, p := range out {
+		isMax := true
+		for j, q := range out {
+			if i == j {
+				continue
+			}
+			if q.Contains(p) && !p.Contains(q) {
+				isMax = false
+				break
+			}
+			if q.Equal(p) && j < i {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			maximal = append(maximal, p)
+		}
+	}
+	return maximal
+}
+
+// Verify checks that a cover is a correct hazard-free implementation of the
+// analyzed specification: it covers the ON-set, avoids the OFF-set, contains
+// every required cube in a single product, and has no illegal intersections.
+// It returns nil on success.
+func Verify(res Result, cover logic.Cover) error {
+	for _, on := range res.OnSet.Cubes {
+		if !cover.ContainsCube(on) {
+			return fmt.Errorf("hfmin: ON cube %s not covered", on)
+		}
+	}
+	for _, off := range res.OffSet.Cubes {
+		for _, p := range cover.Cubes {
+			if p.Intersects(off) {
+				return fmt.Errorf("hfmin: product %s intersects OFF cube %s", p, off)
+			}
+		}
+	}
+	for _, r := range res.Required {
+		ok := false
+		for _, p := range cover.Cubes {
+			if p.Contains(r) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("hfmin: required cube %s not contained in a single product", r)
+		}
+	}
+	for _, pv := range res.Privileged {
+		for _, p := range cover.Cubes {
+			if p.Intersects(pv.Trans) && !p.Contains(pv.Need) {
+				return fmt.Errorf("hfmin: product %s illegally intersects privileged cube %s (needs %s)", p, pv.Trans, pv.Need)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoverContainsMinterm(t *testing.T) {
+	cv := MustCover(3, "0-- 11-")
+	if !cv.ContainsMinterm(MustCube("010")) {
+		t.Error("010 should be covered")
+	}
+	if cv.ContainsMinterm(MustCube("101")) {
+		t.Error("101 should not be covered")
+	}
+}
+
+func TestCoverContainsCube(t *testing.T) {
+	// Union of 0-- and 1-- is the universe.
+	cv := MustCover(3, "0-- 1--")
+	if !cv.ContainsCube(FullCube(3)) {
+		t.Error("universe should be covered by the two halves")
+	}
+	// No single cube contains ---, so this exercises the Shannon path.
+	cv2 := MustCover(2, "0- 11")
+	if !cv2.ContainsCube(MustCube("-1")) {
+		t.Error("-1 covered by 0- ∪ 11")
+	}
+	if cv2.ContainsCube(MustCube("1-")) {
+		t.Error("1- not fully covered (10 missing)")
+	}
+}
+
+func TestCoverTautology(t *testing.T) {
+	if !MustCover(2, "0- 1-").Tautology() {
+		t.Error("0- ∪ 1- is a tautology")
+	}
+	if MustCover(2, "0- 11").Tautology() {
+		t.Error("missing 10: not a tautology")
+	}
+	if !MustCover(3, "--1 --0").Tautology() {
+		t.Error("--1 ∪ --0 is a tautology")
+	}
+}
+
+func TestCoverIrredundant(t *testing.T) {
+	// 01 is inside 0-, so it must be dropped.
+	cv := MustCover(2, "0- 01")
+	ir := cv.Irredundant()
+	if ir.Len() != 1 {
+		t.Fatalf("irredundant len = %d, want 1", ir.Len())
+	}
+	if ir.Cubes[0].String() != "0-" {
+		t.Errorf("kept %s, want 0-", ir.Cubes[0])
+	}
+	// A cube covered only by the union of two others is also redundant.
+	cv2 := MustCover(2, "0- 1- -1")
+	ir2 := cv2.Irredundant()
+	if ir2.Len() != 2 {
+		t.Errorf("irredundant len = %d, want 2 (got %s)", ir2.Len(), ir2)
+	}
+}
+
+func TestCoverComplement(t *testing.T) {
+	cv := MustCover(3, "1--")
+	comp := cv.Complement()
+	if !comp.ContainsCube(MustCube("0--")) {
+		t.Error("complement of 1-- must cover 0--")
+	}
+	if comp.IntersectsCube(MustCube("1--")) {
+		// Complement cubes must be disjoint from the original.
+		for _, c := range comp.Cubes {
+			if c.Intersects(MustCube("1--")) {
+				t.Errorf("complement cube %s intersects original", c)
+			}
+		}
+	}
+}
+
+func TestCoverComplementEmpty(t *testing.T) {
+	comp := NewCover(2).Complement()
+	if !comp.Tautology() {
+		t.Error("complement of empty cover is the universe")
+	}
+	full := MustCover(2, "--").Complement()
+	if full.Len() != 0 {
+		t.Errorf("complement of universe = %s, want empty", full)
+	}
+}
+
+func TestCoverLiterals(t *testing.T) {
+	cv := MustCover(4, "01-- --11")
+	if l := cv.Literals(); l != 4 {
+		t.Errorf("literals = %d, want 4", l)
+	}
+	if cv.Len() != 2 {
+		t.Errorf("len = %d, want 2", cv.Len())
+	}
+}
+
+func TestCoverEqual(t *testing.T) {
+	a := MustCover(2, "0- 1-")
+	b := MustCover(2, "--")
+	if !a.Equal(b) {
+		t.Error("0- ∪ 1- equals universe")
+	}
+	c := MustCover(2, "0-")
+	if a.Equal(c) {
+		t.Error("halves are not equal to one half")
+	}
+}
+
+func randomCover(r *rand.Rand, n, k int) Cover {
+	cv := Cover{N: n}
+	for i := 0; i < k; i++ {
+		cv.Add(randomCube(r, n))
+	}
+	return cv
+}
+
+func TestQuickComplementPartitions(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(8)
+		cv := randomCover(rr, n, 1+rr.Intn(4))
+		comp := cv.Complement()
+		// Every minterm is in exactly one of cv, comp.
+		ok := true
+		FullCube(n).Minterms(func(m Cube) bool {
+			in, out := cv.ContainsMinterm(m), comp.ContainsMinterm(m)
+			if in == out {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIrredundantPreservesFunction(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(8)
+		cv := randomCover(rr, n, 1+rr.Intn(6))
+		ir := cv.Irredundant()
+		return cv.Equal(ir)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickContainsCubeAgainstMinterms(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(7)
+		cv := randomCover(rr, n, 1+rr.Intn(4))
+		d := randomCube(rr, n)
+		want := true
+		d.Minterms(func(m Cube) bool {
+			if !cv.ContainsMinterm(m) {
+				want = false
+				return false
+			}
+			return true
+		})
+		return cv.ContainsCube(d) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,255 @@
+package logic
+
+import "sort"
+
+// CoveringProblem is a unate covering problem: choose a minimum-cost subset
+// of columns such that every row has at least one chosen column.
+type CoveringProblem struct {
+	NumCols int
+	Rows    [][]int // each row lists the columns that cover it
+	Cost    []int   // per-column cost; nil means unit cost
+}
+
+// CoveringBudget bounds the branch-and-bound search; when exceeded the
+// solver falls back to the greedy solution found so far.
+const CoveringBudget = 200000
+
+// SolveGreedy returns the greedy cover (best cost/coverage ratio first)
+// without branch-and-bound refinement, or nil when infeasible. This is the
+// fast-heuristic mode in the spirit of Theobald–Nowick's heuristic
+// minimizer.
+func (p *CoveringProblem) SolveGreedy() []int {
+	for _, r := range p.Rows {
+		if len(r) == 0 {
+			return nil
+		}
+	}
+	cost := p.Cost
+	if cost == nil {
+		cost = make([]int, p.NumCols)
+		for i := range cost {
+			cost[i] = 1
+		}
+	}
+	cols := p.greedy(cost)
+	sort.Ints(cols)
+	return cols
+}
+
+// Solve returns a minimum-cost column set (exact for problems within
+// CoveringBudget branch-and-bound steps, greedy otherwise) and whether the
+// solution is known exact. Rows with no covering column make the problem
+// infeasible and Solve returns nil, false.
+func (p *CoveringProblem) Solve() (cols []int, exact bool) {
+	for _, r := range p.Rows {
+		if len(r) == 0 {
+			return nil, false
+		}
+	}
+	cost := p.Cost
+	if cost == nil {
+		cost = make([]int, p.NumCols)
+		for i := range cost {
+			cost[i] = 1
+		}
+	}
+	greedy := p.greedy(cost)
+	best := append([]int(nil), greedy...)
+	bestCost := totalCost(best, cost)
+
+	steps := 0
+	exact = true
+	var rec func(active []int, chosen []int, acc int)
+	rec = func(active []int, chosen []int, acc int) {
+		steps++
+		if steps > CoveringBudget {
+			exact = false
+			return
+		}
+		if acc >= bestCost {
+			return
+		}
+		// Reduce: essentials and row dominance.
+		active, chosen, acc, feasible := p.reduce(active, chosen, acc, cost)
+		if !feasible || acc >= bestCost {
+			return
+		}
+		if len(active) == 0 {
+			best = append(best[:0:0], chosen...)
+			bestCost = acc
+			return
+		}
+		// Lower bound: independent rows (no shared columns) each need one
+		// cheapest column.
+		if acc+p.lowerBound(active, cost) >= bestCost {
+			return
+		}
+		// Branch on a column of the shortest active row.
+		row := p.Rows[active[0]]
+		for _, r := range active[1:] {
+			if len(p.Rows[r]) < len(row) {
+				row = p.Rows[r]
+			}
+		}
+		for _, c := range row {
+			next := p.removeCovered(active, c)
+			rec(next, append(chosen, c), acc+cost[c])
+			if steps > CoveringBudget {
+				return
+			}
+		}
+	}
+	all := make([]int, len(p.Rows))
+	for i := range all {
+		all[i] = i
+	}
+	rec(all, nil, 0)
+	sort.Ints(best)
+	return best, exact
+}
+
+func totalCost(cols []int, cost []int) int {
+	t := 0
+	for _, c := range cols {
+		t += cost[c]
+	}
+	return t
+}
+
+func (p *CoveringProblem) greedy(cost []int) []int {
+	covered := make([]bool, len(p.Rows))
+	remaining := len(p.Rows)
+	var chosen []int
+	colRows := make([][]int, p.NumCols)
+	for ri, row := range p.Rows {
+		for _, c := range row {
+			colRows[c] = append(colRows[c], ri)
+		}
+	}
+	for remaining > 0 {
+		bestCol, bestScore := -1, -1.0
+		for c := 0; c < p.NumCols; c++ {
+			cnt := 0
+			for _, ri := range colRows[c] {
+				if !covered[ri] {
+					cnt++
+				}
+			}
+			if cnt == 0 {
+				continue
+			}
+			score := float64(cnt) / float64(cost[c])
+			if score > bestScore {
+				bestScore, bestCol = score, c
+			}
+		}
+		if bestCol < 0 {
+			return nil // infeasible
+		}
+		chosen = append(chosen, bestCol)
+		for _, ri := range colRows[bestCol] {
+			if !covered[ri] {
+				covered[ri] = true
+				remaining--
+			}
+		}
+	}
+	return chosen
+}
+
+// reduce applies essential-column and row-dominance reductions.
+func (p *CoveringProblem) reduce(active, chosen []int, acc int, cost []int) ([]int, []int, int, bool) {
+	changed := true
+	for changed {
+		changed = false
+		// Essential columns: a row with a single column.
+		for _, ri := range active {
+			if len(p.Rows[ri]) == 1 {
+				c := p.Rows[ri][0]
+				chosen = append(chosen, c)
+				acc += cost[c]
+				active = p.removeCovered(active, c)
+				changed = true
+				break
+			}
+		}
+		if changed {
+			continue
+		}
+		// Row dominance: if row a's columns ⊇ row b's columns, drop a.
+		for i := 0; i < len(active) && !changed; i++ {
+			for j := 0; j < len(active); j++ {
+				if i == j {
+					continue
+				}
+				if rowSubset(p.Rows[active[j]], p.Rows[active[i]]) {
+					active = append(append([]int(nil), active[:i]...), active[i+1:]...)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return active, chosen, acc, true
+}
+
+func rowSubset(a, b []int) bool {
+	// reports whether set a ⊆ set b (rows are small; O(n·m) is fine)
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *CoveringProblem) removeCovered(active []int, col int) []int {
+	var out []int
+	for _, ri := range active {
+		hit := false
+		for _, c := range p.Rows[ri] {
+			if c == col {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			out = append(out, ri)
+		}
+	}
+	return out
+}
+
+// lowerBound computes a quick maximal-independent-row lower bound.
+func (p *CoveringProblem) lowerBound(active []int, cost []int) int {
+	used := map[int]bool{}
+	lb := 0
+	for _, ri := range active {
+		indep := true
+		for _, c := range p.Rows[ri] {
+			if used[c] {
+				indep = false
+				break
+			}
+		}
+		if !indep {
+			continue
+		}
+		minC := -1
+		for _, c := range p.Rows[ri] {
+			used[c] = true
+			if minC < 0 || cost[c] < minC {
+				minC = cost[c]
+			}
+		}
+		lb += minC
+	}
+	return lb
+}

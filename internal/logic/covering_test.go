@@ -1,0 +1,142 @@
+package logic
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestCoveringEssential(t *testing.T) {
+	p := &CoveringProblem{
+		NumCols: 3,
+		Rows:    [][]int{{0}, {0, 1}, {2}},
+	}
+	cols, exact := p.Solve()
+	if !exact {
+		t.Error("tiny problem should be exact")
+	}
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 2 {
+		t.Errorf("cols = %v, want [0 2]", cols)
+	}
+}
+
+func TestCoveringInfeasible(t *testing.T) {
+	p := &CoveringProblem{NumCols: 2, Rows: [][]int{{0}, {}}}
+	if cols, _ := p.Solve(); cols != nil {
+		t.Errorf("infeasible problem returned %v", cols)
+	}
+}
+
+func TestCoveringPrefersCheap(t *testing.T) {
+	// Row coverable by col0 (cost 10) or col1 (cost 1).
+	p := &CoveringProblem{
+		NumCols: 2,
+		Rows:    [][]int{{0, 1}},
+		Cost:    []int{10, 1},
+	}
+	cols, exact := p.Solve()
+	if !exact || len(cols) != 1 || cols[0] != 1 {
+		t.Errorf("cols = %v exact=%v, want [1] true", cols, exact)
+	}
+}
+
+func TestCoveringBeatsGreedy(t *testing.T) {
+	// Classic greedy trap: greedy picks the big column first, then needs two
+	// more; optimum is two columns.
+	p := &CoveringProblem{
+		NumCols: 3,
+		Rows: [][]int{
+			{0, 1}, {0, 1}, {0, 2}, {0, 2}, {1}, {2},
+		},
+	}
+	cols, exact := p.Solve()
+	if !exact {
+		t.Fatal("should be exact")
+	}
+	if len(cols) != 2 {
+		t.Errorf("cols = %v, want size 2 ({1,2})", cols)
+	}
+}
+
+func TestCoveringRandomAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		nc := 2 + r.Intn(5)
+		nr := 1 + r.Intn(6)
+		p := &CoveringProblem{NumCols: nc}
+		for i := 0; i < nr; i++ {
+			var row []int
+			for c := 0; c < nc; c++ {
+				if r.Intn(2) == 0 {
+					row = append(row, c)
+				}
+			}
+			if len(row) == 0 {
+				row = []int{r.Intn(nc)}
+			}
+			p.Rows = append(p.Rows, row)
+		}
+		cols, exact := p.Solve()
+		if !exact {
+			t.Fatalf("small random problem inexact: %+v", p)
+		}
+		best := bruteForceCover(p)
+		if len(cols) != best {
+			t.Errorf("iter %d: solver found %d cols, brute force %d (rows %v)", iter, len(cols), best, p.Rows)
+		}
+		// Verify it is actually a cover.
+		chosen := map[int]bool{}
+		for _, c := range cols {
+			chosen[c] = true
+		}
+		for _, row := range p.Rows {
+			hit := false
+			for _, c := range row {
+				if chosen[c] {
+					hit = true
+				}
+			}
+			if !hit {
+				t.Fatalf("iter %d: returned set %v does not cover row %v", iter, cols, row)
+			}
+		}
+	}
+}
+
+func bruteForceCover(p *CoveringProblem) int {
+	best := p.NumCols + 1
+	for mask := 0; mask < 1<<uint(p.NumCols); mask++ {
+		ok := true
+		for _, row := range p.Rows {
+			hit := false
+			for _, c := range row {
+				if mask&(1<<uint(c)) != 0 {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n := 0
+			for m := mask; m != 0; m &= m - 1 {
+				n++
+			}
+			if n < best {
+				best = n
+			}
+		}
+	}
+	return best
+}
+
+func TestCoveringResultSorted(t *testing.T) {
+	p := &CoveringProblem{NumCols: 4, Rows: [][]int{{3}, {1}, {0}}}
+	cols, _ := p.Solve()
+	if !sort.IntsAreSorted(cols) {
+		t.Errorf("cols not sorted: %v", cols)
+	}
+}

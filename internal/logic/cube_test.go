@@ -1,0 +1,238 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseCube(t *testing.T) {
+	c, err := ParseCube("01-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 4 {
+		t.Fatalf("N = %d, want 4", c.N())
+	}
+	want := []Val{Zero, One, Dash, Zero}
+	for i, w := range want {
+		if got := c.Get(i); got != w {
+			t.Errorf("Get(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if s := c.String(); s != "01-0" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestParseCubeError(t *testing.T) {
+	if _, err := ParseCube("01x"); err == nil {
+		t.Error("expected error for invalid character")
+	}
+}
+
+func TestCubeEmptyFull(t *testing.T) {
+	if !EmptyCube(4).IsEmpty() {
+		t.Error("EmptyCube not empty")
+	}
+	if !FullCube(4).IsFull() {
+		t.Error("FullCube not full")
+	}
+	if FullCube(4).IsEmpty() {
+		t.Error("FullCube empty")
+	}
+	if MustCube("01-0").IsEmpty() || MustCube("01-0").IsFull() {
+		t.Error("ordinary cube misclassified")
+	}
+}
+
+func TestCubeWithNone(t *testing.T) {
+	c := MustCube("1-").With(0, None)
+	if !c.IsEmpty() {
+		t.Error("cube with None position should be empty")
+	}
+}
+
+func TestCubeContains(t *testing.T) {
+	cases := []struct {
+		big, small string
+		want       bool
+	}{
+		{"--", "01", true},
+		{"0-", "01", true},
+		{"0-", "11", false},
+		{"01", "01", true},
+		{"01", "0-", false},
+		{"1-0-", "110-", true},
+	}
+	for _, tc := range cases {
+		if got := MustCube(tc.big).Contains(MustCube(tc.small)); got != tc.want {
+			t.Errorf("%s.Contains(%s) = %v, want %v", tc.big, tc.small, got, tc.want)
+		}
+	}
+}
+
+func TestCubeIntersect(t *testing.T) {
+	a, b := MustCube("0--1"), MustCube("-10-")
+	i := a.Intersect(b)
+	if i.String() != "0101" {
+		t.Errorf("intersect = %s", i)
+	}
+	c := MustCube("1---")
+	if a.Intersects(c) {
+		t.Error("disjoint cubes report intersection")
+	}
+	if !a.Intersect(c).IsEmpty() {
+		t.Error("intersection of disjoint cubes not empty")
+	}
+}
+
+func TestCubeSupercube(t *testing.T) {
+	a, b := MustCube("010"), MustCube("011")
+	if s := a.Supercube(b); s.String() != "01-" {
+		t.Errorf("supercube = %s", s)
+	}
+	// Supercube with empty is identity.
+	if s := a.Supercube(EmptyCube(3)); !s.Equal(a) {
+		t.Errorf("supercube with empty = %s", s)
+	}
+}
+
+func TestCubeDistance(t *testing.T) {
+	if d := MustCube("00").Distance(MustCube("11")); d != 2 {
+		t.Errorf("distance = %d, want 2", d)
+	}
+	if d := MustCube("0-").Distance(MustCube("-1")); d != 0 {
+		t.Errorf("distance = %d, want 0", d)
+	}
+}
+
+func TestCubeLiterals(t *testing.T) {
+	if l := MustCube("01--1").Literals(); l != 3 {
+		t.Errorf("literals = %d, want 3", l)
+	}
+	if l := FullCube(5).Literals(); l != 0 {
+		t.Errorf("full cube literals = %d", l)
+	}
+}
+
+func TestCubeSize(t *testing.T) {
+	if s := MustCube("0--").Size(); s != 4 {
+		t.Errorf("size = %d, want 4", s)
+	}
+	if s := EmptyCube(3).Size(); s != 0 {
+		t.Errorf("empty size = %d", s)
+	}
+}
+
+func TestCubeMinterms(t *testing.T) {
+	var got []string
+	MustCube("0-1").Minterms(func(m Cube) bool {
+		got = append(got, m.String())
+		return true
+	})
+	if len(got) != 2 || got[0] != "001" || got[1] != "011" {
+		t.Errorf("minterms = %v", got)
+	}
+}
+
+func TestCubeCofactor(t *testing.T) {
+	c := MustCube("01-")
+	d := MustCube("0--")
+	cf, ok := c.Cofactor(d)
+	if !ok {
+		t.Fatal("cofactor should exist")
+	}
+	// Variable 0 freed, others kept.
+	if cf.String() != "-1-" {
+		t.Errorf("cofactor = %s", cf)
+	}
+	if _, ok := MustCube("1--").Cofactor(MustCube("0--")); ok {
+		t.Error("cofactor of conflicting cubes should not exist")
+	}
+}
+
+// randomCube builds a valid random cube over n variables.
+func randomCube(r *rand.Rand, n int) Cube {
+	c := FullCube(n)
+	for i := 0; i < n; i++ {
+		switch r.Intn(3) {
+		case 0:
+			c = c.With(i, Zero)
+		case 1:
+			c = c.With(i, One)
+		}
+	}
+	return c
+}
+
+func TestQuickSupercubeContainsBoth(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(12)
+		a, b := randomCube(rr, n), randomCube(rr, n)
+		s := a.Supercube(b)
+		return s.Contains(a) && s.Contains(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectionContained(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(12)
+		a, b := randomCube(rr, n), randomCube(rr, n)
+		i := a.Intersect(b)
+		if i.IsEmpty() {
+			return a.Distance(b) > 0
+		}
+		return a.Contains(i) && b.Contains(i)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickContainsTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(10)
+		a := randomCube(rr, n)
+		b := a
+		// Shrink b: bind some dashes.
+		for i := 0; i < n; i++ {
+			if b.Get(i) == Dash && rr.Intn(2) == 0 {
+				if rr.Intn(2) == 0 {
+					b = b.With(i, Zero)
+				} else {
+					b = b.With(i, One)
+				}
+			}
+		}
+		c := b
+		for i := 0; i < n; i++ {
+			if c.Get(i) == Dash && rr.Intn(2) == 0 {
+				c = c.With(i, One)
+			}
+		}
+		return a.Contains(b) && b.Contains(c) && a.Contains(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistanceZeroIffIntersects(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(12)
+		a, b := randomCube(rr, n), randomCube(rr, n)
+		return (a.Distance(b) == 0) == a.Intersects(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

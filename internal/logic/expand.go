@@ -1,0 +1,192 @@
+package logic
+
+import "sort"
+
+// MaxExpansions caps the number of maximal expansions enumerated for a
+// single cube; pathological blocking structures are truncated (the greedy
+// largest-first expansions are kept).
+const MaxExpansions = 4096
+
+// Expansions returns all maximal supercubes of seed that are disjoint from
+// every cube of off. These are exactly the prime implicants of the function
+// complement(off) that contain seed.
+//
+// The computation reduces to enumerating the minimal hitting sets of the
+// "blocking matrix": for each off cube o intersected with the current
+// expansion candidate, at least one variable on which seed conflicts with o
+// must keep its literal. Enumeration is capped at MaxExpansions.
+func Expansions(seed Cube, off Cover) []Cube {
+	if seed.IsEmpty() {
+		return nil
+	}
+	n := seed.N()
+	// Variables bound in seed are the candidates for raising.
+	var boundVars []int
+	for i := 0; i < n; i++ {
+		if seed.Get(i) != Dash {
+			boundVars = append(boundVars, i)
+		}
+	}
+	// Build blocking rows: for each off cube, the set of seed variables that
+	// separate it (conflicting literal). An off cube with no separating
+	// variable intersects seed itself: no expansion exists.
+	free := seed
+	for _, v := range boundVars {
+		free = free.Free(v)
+	}
+	var rows [][]int
+	for _, o := range off.Cubes {
+		if !o.Intersects(free) {
+			continue // off cube cannot be reached even fully expanded
+		}
+		var row []int
+		for _, v := range boundVars {
+			sv, ov := seed.Get(v), o.Get(v)
+			if (sv == Zero && ov == One) || (sv == One && ov == Zero) {
+				row = append(row, v)
+			}
+		}
+		if len(row) == 0 {
+			return nil // seed intersects the off-set
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return []Cube{FullCube(n)}
+	}
+	hs := minimalHittingSets(rows, MaxExpansions)
+	out := make([]Cube, 0, len(hs))
+	for _, keep := range hs {
+		c := seed
+		for _, v := range boundVars {
+			if !keep[v] {
+				c = c.Free(v)
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// minimalHittingSets enumerates minimal hitting sets of the given rows
+// (each row is a set of variable indices; a hitting set picks at least one
+// element of every row). The result is a list of "keep" sets. Enumeration is
+// capped at limit.
+func minimalHittingSets(rows [][]int, limit int) []map[int]bool {
+	// Sort rows by size: small rows first prunes better.
+	sorted := append([][]int(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return len(sorted[i]) < len(sorted[j]) })
+
+	var results []map[int]bool
+	var rec func(idx int, chosen map[int]bool)
+	rec = func(idx int, chosen map[int]bool) {
+		if len(results) >= limit {
+			return
+		}
+		// Skip rows already hit.
+		for idx < len(sorted) {
+			hit := false
+			for _, v := range sorted[idx] {
+				if chosen[v] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				break
+			}
+			idx++
+		}
+		if idx == len(sorted) {
+			// Candidate complete; check minimality against found sets and
+			// record. Supersets of existing results are discarded.
+			for _, r := range results {
+				if subset(r, chosen) {
+					return
+				}
+			}
+			cp := make(map[int]bool, len(chosen))
+			for k, v := range chosen {
+				if v {
+					cp[k] = true
+				}
+			}
+			// Remove any previously found supersets of cp.
+			var kept []map[int]bool
+			for _, r := range results {
+				if !subset(cp, r) {
+					kept = append(kept, r)
+				}
+			}
+			results = append(kept, cp)
+			return
+		}
+		for _, v := range sorted[idx] {
+			if chosen[v] {
+				continue
+			}
+			chosen[v] = true
+			rec(idx+1, chosen)
+			delete(chosen, v)
+			if len(results) >= limit {
+				return
+			}
+		}
+	}
+	rec(0, map[int]bool{})
+	return results
+}
+
+func subset(a, b map[int]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// PrimesContaining returns all prime implicants of the function whose
+// off-set is off (with everything else on or don't-care) that contain at
+// least one of the seed cubes. Duplicates are removed.
+func PrimesContaining(seeds []Cube, off Cover) []Cube {
+	seen := map[[2]uint64]bool{}
+	var out []Cube
+	for _, s := range seeds {
+		for _, p := range Expansions(s, off) {
+			k := p.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, p)
+			}
+		}
+	}
+	// Drop non-maximal cubes (a cube from one seed may be contained in an
+	// expansion of another seed).
+	var maximal []Cube
+	for i, p := range out {
+		contained := false
+		for j, q := range out {
+			if i != j && q.Contains(p) && !p.Contains(q) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			maximal = append(maximal, p)
+		}
+	}
+	// Deduplicate equal cubes kept twice by the asymmetric test above.
+	seen = map[[2]uint64]bool{}
+	var uniq []Cube
+	for _, p := range maximal {
+		if !seen[p.Key()] {
+			seen[p.Key()] = true
+			uniq = append(uniq, p)
+		}
+	}
+	return uniq
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/diffeq"
+	"repro/internal/extract"
+	"repro/internal/local"
+	"repro/internal/transform"
+)
+
+// buildSystem assembles the controller-level simulation for one of the
+// paper's three experiment levels.
+func buildSystem(t *testing.T, level string, seed int64) *MachineSystem {
+	t.Helper()
+	g := diffeq.Build(diffeq.DefaultParams())
+	var plan *transform.Plan
+	exOpt := extract.Options{}
+	switch level {
+	case "unoptimized":
+		plan = transform.BuildChannels(g)
+		exOpt.SeparateWaits = true
+	case "gt", "gt+lt":
+		var err error
+		plan, _, err = transform.OptimizeGT(g, transform.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := extract.Extract(g, plan, exOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := map[string]map[string][]string{}
+	if level == "gt+lt" {
+		for fu, m := range res.Machines {
+			rep, err := local.Optimize(m)
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", fu, err, m)
+			}
+			shared[fu] = rep.SharedWires
+		}
+	}
+	return &MachineSystem{
+		G:        g,
+		Machines: res.Machines,
+		Shared:   shared,
+		Primers:  res.Primers,
+		Delays:   DefaultMachineDelays(seed),
+	}
+}
+
+func checkSystem(t *testing.T, level string, seeds int) {
+	t.Helper()
+	p := diffeq.DefaultParams()
+	ref := diffeq.Reference(p)
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		sys := buildSystem(t, level, seed)
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatalf("%s seed %d: %v", level, seed, err)
+		}
+		for _, r := range []string{"X", "Y", "U"} {
+			if math.Abs(res.Regs[r]-ref[r]) > 1e-9 {
+				t.Errorf("%s seed %d: %s = %v, want %v", level, seed, r, res.Regs[r], ref[r])
+			}
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("%s seed %d violations: %v", level, seed, res.Violations)
+		}
+	}
+}
+
+// The headline integration result: the distributed controllers extracted
+// at every optimization level compute the same DIFFEQ trajectory as the
+// sequential reference, under randomized delays.
+func TestControllersUnoptimized(t *testing.T) { checkSystem(t, "unoptimized", 10) }
+func TestControllersGT(t *testing.T)          { checkSystem(t, "gt", 10) }
+func TestControllersGTLT(t *testing.T)        { checkSystem(t, "gt+lt", 10) }
+
+func TestControllerSystemTerminates(t *testing.T) {
+	sys := buildSystem(t, "gt", 42)
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events == 0 {
+		t.Error("no events simulated")
+	}
+	if res.FinishTime <= 0 {
+		t.Error("finish time not advanced")
+	}
+}
+
+func TestControllerSystemZeroIterations(t *testing.T) {
+	// x0 >= a: the loop exits immediately; registers stay at initial
+	// values.
+	p := diffeq.Params{X0: 5, Y0: 1, U0: 0.25, DX: 0.5, A: 1}
+	g := diffeq.Build(p)
+	plan, _, err := transform.OptimizeGT(g, transform.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := extract.Extract(g, plan, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := &MachineSystem{G: g, Machines: res.Machines, Primers: res.Primers, Delays: DefaultMachineDelays(1)}
+	out, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := diffeq.Reference(p)
+	for _, r := range []string{"X", "Y", "U"} {
+		if out.Regs[r] != ref[r] {
+			t.Errorf("%s = %v, want %v", r, out.Regs[r], ref[r])
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/cdfg"
+	"repro/internal/timing"
+)
+
+// FromModel returns a delay assignment drawn uniformly within the given
+// timing model's intervals. Simulating a relative-timing-optimized graph is
+// only sound with delays consistent with the model used by GT3; this
+// constructor guarantees that consistency.
+func FromModel(m timing.Model, seed int64) Delays {
+	r := rand.New(rand.NewSource(seed))
+	draw := func(iv timing.Interval) float64 {
+		if iv.Max <= iv.Min {
+			return iv.Min
+		}
+		return iv.Min + r.Float64()*(iv.Max-iv.Min)
+	}
+	return Delays{
+		Op: func(n *cdfg.Node) float64 {
+			if n.UsesFU() {
+				if iv, ok := m.FUOp[n.FU]; ok {
+					return draw(iv)
+				}
+			}
+			return draw(m.DefaultOp)
+		},
+		Wire: func(*cdfg.Arc) float64 { return draw(m.Wire) },
+	}
+}

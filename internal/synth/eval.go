@@ -1,0 +1,176 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/bm"
+	"repro/internal/logic"
+)
+
+// Evaluator executes a synthesized controller as combinational two-level
+// logic with state feedback: outputs and next-state bits are the minimized
+// covers, state variables feed back after a delay, and evaluation iterates
+// to a fixpoint after every input change (burst-mode fundamental-mode
+// operation).
+type Evaluator struct {
+	Name   string
+	Inputs []string // input variables in cover order (including levels)
+	Bits   int
+
+	vars     []string
+	varIdx   map[string]int
+	out      []evalFn
+	outIdx   map[string]int
+	feedback bool
+	ybits    []logic.Cover
+
+	state  uint64          // current state code
+	levels map[string]bool // current input levels
+	outs   map[string]bool // current output levels
+}
+
+type evalFn struct {
+	name  string
+	cover logic.Cover
+}
+
+// NewEvaluator compiles a synthesis result into an executable controller.
+func NewEvaluator(m *bm.Machine, res *Result) (*Evaluator, error) {
+	c, err := Concretize(m)
+	if err != nil {
+		return nil, err
+	}
+	if res.Encoding == nil {
+		return nil, fmt.Errorf("synth: result has no encoding")
+	}
+	vars, varIdx := variableOrder(c, res.StateBits, res.OutputFeedback)
+	ev := &Evaluator{
+		Name:     m.Name,
+		Inputs:   append([]string{}, c.Inputs...),
+		Bits:     res.StateBits,
+		vars:     vars,
+		varIdx:   varIdx,
+		state:    res.Encoding[c.Init],
+		levels:   map[string]bool{},
+		outs:     map[string]bool{},
+		outIdx:   map[string]int{},
+		feedback: res.OutputFeedback,
+	}
+	for i, o := range c.Outputs {
+		ev.outIdx[o] = i
+	}
+	covers := map[string]logic.Cover{}
+	for _, f := range res.Functions {
+		covers[f.Name] = f.Cover
+	}
+	for _, o := range c.Outputs {
+		cv, ok := covers[o]
+		if !ok {
+			return nil, fmt.Errorf("synth: no cover for output %s", o)
+		}
+		ev.out = append(ev.out, evalFn{name: o, cover: cv})
+	}
+	for b := 0; b < res.StateBits; b++ {
+		cv, ok := covers[fmt.Sprintf("Y%d", b)]
+		if !ok {
+			return nil, fmt.Errorf("synth: no cover for state bit %d", b)
+		}
+		ev.ybits = append(ev.ybits, cv)
+	}
+	for _, sig := range c.Inputs {
+		ev.levels[sig] = false
+	}
+	for _, sig := range m.InitialHigh {
+		ev.levels[sig] = true
+		if _, ok := ev.outIdx[sig]; ok {
+			ev.outs[sig] = true
+		}
+	}
+	return ev, nil
+}
+
+// point builds the evaluation minterm from current levels, fed-back output
+// levels and state.
+func (ev *Evaluator) point() logic.Cube {
+	n := len(ev.vars)
+	c := logic.FullCube(n)
+	for i, sig := range ev.Inputs {
+		c = c.With(i, boolVal(ev.levels[sig]))
+	}
+	if ev.feedback {
+		base := len(ev.Inputs)
+		for _, f := range ev.out {
+			c = c.With(base+ev.outIdx[f.name], boolVal(ev.outs[f.name]))
+		}
+	}
+	for b := 0; b < ev.Bits; b++ {
+		c = c.With(n-ev.Bits+b, boolVal(ev.state&(1<<uint(b)) != 0))
+	}
+	return c
+}
+
+func (ev *Evaluator) evaluateOutputs() map[string]bool {
+	p := ev.point()
+	out := map[string]bool{}
+	for _, f := range ev.out {
+		out[f.name] = f.cover.ContainsMinterm(p)
+	}
+	return out
+}
+
+// nextState evaluates the next-state functions at the current point.
+func (ev *Evaluator) nextState() uint64 {
+	p := ev.point()
+	var next uint64
+	for b, cv := range ev.ybits {
+		if cv.ContainsMinterm(p) {
+			next |= 1 << uint(b)
+		}
+	}
+	return next
+}
+
+// Set applies an input level change and evaluates the combinational logic
+// once at the current state: it returns the output events produced
+// (signal → new level) and the pending next-state code (equal to the
+// current state when no state change is requested). The caller commits the
+// state change after the feedback delay via Commit — state settling is a
+// sequence of timed events, not an instantaneous fixpoint, so handshake
+// pulses between consecutive specification transitions stay observable.
+func (ev *Evaluator) Set(signal string, level bool) (map[string]bool, uint64) {
+	if _, ok := ev.levels[signal]; !ok {
+		return nil, ev.state // signal not an input of this controller
+	}
+	if ev.levels[signal] == level {
+		return nil, ev.state
+	}
+	ev.levels[signal] = level
+	return ev.react()
+}
+
+// Commit applies a pending state code and re-evaluates, returning further
+// output changes and the next pending state.
+func (ev *Evaluator) Commit(state uint64) (map[string]bool, uint64) {
+	if state == ev.state {
+		return nil, ev.state
+	}
+	ev.state = state
+	return ev.react()
+}
+
+func (ev *Evaluator) react() (map[string]bool, uint64) {
+	changes := map[string]bool{}
+	for name, v := range ev.evaluateOutputs() {
+		if ev.outs[name] != v {
+			ev.outs[name] = v
+			changes[name] = v
+		}
+	}
+	return changes, ev.nextState()
+}
+
+// State returns the current state code (diagnostics).
+func (ev *Evaluator) State() uint64 { return ev.state }
+
+// Output returns the current level of an output signal.
+func (ev *Evaluator) Output(sig string) bool { return ev.outs[sig] }

@@ -1,0 +1,524 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bm"
+	"repro/internal/hfmin"
+	"repro/internal/logic"
+)
+
+// FuncResult is the minimized implementation of one signal.
+type FuncResult struct {
+	Name     string
+	Products int
+	Literals int
+	Cover    logic.Cover
+	// HazardFree is false when the exact hazard-free covering was
+	// infeasible for this function and the plain two-level cover was used
+	// instead (real tools repair this by inserting extra state variables,
+	// as 3D does; see DESIGN.md).
+	HazardFree bool
+}
+
+// Result is the gate-level synthesis outcome for one controller.
+type Result struct {
+	Controller string
+	StateBits  int
+	States     int
+	OneHot     bool
+	Functions  []FuncResult
+	Products   int
+	Literals   int
+	Exact      bool
+	// NonHazardFree counts functions that needed the plain fallback.
+	NonHazardFree int
+	// Encoding maps concrete state IDs to their assigned codes.
+	Encoding map[int]uint64
+	// OutputFeedback reports whether outputs were fed back as state
+	// variables (MINIMALIST-style) in this implementation.
+	OutputFeedback bool
+}
+
+// Synthesize produces two-level hazard-free logic for every output signal
+// and state bit of the machine, in the single-output style of the 3D tool,
+// and reports product/literal totals (the paper's Figure 13 metrics).
+func Synthesize(m *bm.Machine) (*Result, error) {
+	c, err := Concretize(m)
+	if err != nil {
+		return nil, err
+	}
+	reach := c.ReachableStates()
+	// Try minimal-width binary encodings with increasing widths; fall back
+	// to one-hot when the function specifications conflict (critical-race
+	// style code overlap).
+	minBits := 1
+	for (1 << minBits) < len(reach) {
+		minBits++
+	}
+	var lastErr error
+	// Attempt ladder: hazard-free implementations first (a plain fallback
+	// cover can glitch at gate level) — binary encodings of increasing
+	// width, then the same with output feedback (bounded by variable
+	// count), then one-hot; only then the lenient modes that accept plain
+	// fallback covers.
+	type attempt struct {
+		oneHot, strict, feedback bool
+	}
+	ladder := []attempt{
+		{strict: true},
+		{strict: true, oneHot: true},
+		{strict: true, feedback: true},
+		{},
+		{oneHot: true},
+	}
+	for _, a := range ladder {
+		if a.feedback && len(c.Inputs)+len(c.Outputs)+minBits+4 > 26 {
+			continue // output feedback too wide to minimize exactly
+		}
+		if a.oneHot {
+			enc := oneHotEncoding(reach)
+			res, err := synthesizeWith(c, enc, len(reach), true, a.strict, a.feedback)
+			if err == nil {
+				res.Controller = m.Name
+				return res, nil
+			}
+			lastErr = err
+			continue
+		}
+		for bits := minBits; bits <= minBits+4 && bits <= 16; bits++ {
+			enc := hypercubeEncode(c, reach, bits)
+			if enc == nil {
+				enc = sequentialEncoding(c, reach, bits)
+			}
+			res, err := synthesizeWith(c, enc, bits, false, a.strict, a.feedback)
+			if err == nil {
+				res.Controller = m.Name
+				return res, nil
+			}
+			lastErr = err
+		}
+	}
+	return nil, fmt.Errorf("synth %s: all encoding attempts failed: %v", m.Name, lastErr)
+}
+
+// sequentialEncoding assigns codes in a BFS-ordered Gray sequence, which
+// keeps consecutive transitions at small Hamming distance.
+func sequentialEncoding(c *Concrete, reach []int, bits int) map[int]uint64 {
+	// BFS order from init.
+	order := []int{}
+	seen := map[int]bool{c.Init: true}
+	queue := []int{c.Init}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		order = append(order, s)
+		for _, t := range c.outTrans(s) {
+			if !seen[t.To] {
+				seen[t.To] = true
+				queue = append(queue, t.To)
+			}
+		}
+	}
+	for _, s := range reach {
+		if !seen[s] {
+			order = append(order, s)
+		}
+	}
+	enc := map[int]uint64{}
+	for i, s := range order {
+		g := uint64(i) ^ (uint64(i) >> 1) // Gray code
+		enc[s] = g
+	}
+	return enc
+}
+
+func oneHotEncoding(reach []int) map[int]uint64 {
+	enc := map[int]uint64{}
+	for i, s := range reach {
+		enc[s] = 1 << uint(i)
+	}
+	return enc
+}
+
+// synthesizeWith builds and minimizes every function under an encoding.
+// In strict mode a hazard-infeasible function fails the whole attempt
+// rather than falling back to a (glitchy) plain cover. With feedback, the
+// outputs are fed back as additional state variables.
+func synthesizeWith(c *Concrete, enc map[int]uint64, bits int, oneHot, strict, feedback bool) (*Result, error) {
+	vars, varIdx := variableOrder(c, bits, feedback)
+	n := len(vars)
+	if n > logic.MaxVars {
+		return nil, fmt.Errorf("synth: %d variables exceed the %d-variable limit", n, logic.MaxVars)
+	}
+	res := &Result{StateBits: bits, States: len(c.ReachableStates()), OneHot: oneHot, Exact: true, Encoding: enc, OutputFeedback: feedback}
+
+	// Function list: outputs then state bits.
+	type fn struct {
+		name string
+		// valueAt returns the function's stable value at a concrete state.
+		out  string // output signal name, or "" for state bits
+		ybit int    // state bit index, or -1
+	}
+	var fns []fn
+	for _, o := range c.Outputs {
+		fns = append(fns, fn{name: o, out: o, ybit: -1})
+	}
+	for b := 0; b < bits; b++ {
+		fns = append(fns, fn{name: fmt.Sprintf("Y%d", b), ybit: b})
+	}
+
+	for _, f := range fns {
+		spec := hfmin.Spec{N: n}
+		for _, t := range c.Trans {
+			from := c.States[t.From]
+			cFrom, cTo := enc[t.From], enc[t.To]
+			start := bindState(baseCube(c, from, t, vars, varIdx), cFrom, bits, n)
+			// Phase 1: the input burst completes; outputs and state bits
+			// change at completion. Burst signals start at the opposite of
+			// their arriving edge (an unobserved return-to-zero may have
+			// moved them off the stale nominal level).
+			endInputs := start
+			for _, e := range t.In {
+				start = start.With(varIdx[e.Signal], oppositeVal(e.Edge))
+				endInputs = endInputs.With(varIdx[e.Signal], edgeVal(e.Edge))
+			}
+
+			var kind hfmin.Kind
+			switch {
+			case f.out != "":
+				kind = dynKind(levelOf(from, f.out), outEdge(t, f.out))
+			default:
+				kind = bitKind(cFrom, cTo, f.ybit)
+			}
+			if isDynamic(kind) && start.Equal(endInputs) {
+				// No input changes (pure conditional transition folded at a
+				// join): the change rides the state-change phase instead.
+				kind = staticOf(kind, false)
+			}
+			if t1, ok := mkTrans(start, endInputs, kind); ok {
+				spec.Transitions = append(spec.Transitions, t1)
+			}
+			// Phase 2: the fed-back outputs and the state bits settle to
+			// their post-transition values while inputs rest at their
+			// nominal post-burst levels. All known inputs are bound (no
+			// directed don't-cares here): a dashed wire would cover the
+			// burst-completion point of the next transition and falsely
+			// conflict with its rising output. The settle is monotone —
+			// rising variables first, then falling — so the traversed cubes
+			// avoid unrelated total states (the all-zero code in
+			// particular). Every function is static at its new value during
+			// the settle.
+			sStart, sMid, sEnd := settleCubes(c, from, t, enc, bits, n, varIdx)
+			if !sStart.Equal(sEnd) {
+				var k2 hfmin.Kind
+				if f.out != "" {
+					k2 = staticLevel(levelAfter(from, t, f.out))
+				} else {
+					k2 = bitPhase2Kind(cFrom, cTo, f.ybit)
+				}
+				for _, leg := range [][2]logic.Cube{{sStart, sMid}, {sMid, sEnd}} {
+					if leg[0].Equal(leg[1]) {
+						continue
+					}
+					if t2, ok := mkTrans(leg[0], leg[1], k2); ok {
+						spec.Transitions = append(spec.Transitions, t2)
+					}
+				}
+			}
+		}
+		hf := true
+		r, err := hfmin.Minimize(spec)
+		if errors.Is(err, hfmin.ErrInfeasible) && strict {
+			return nil, fmt.Errorf("function %s: %w", f.name, err)
+		}
+		if errors.Is(err, hfmin.ErrInfeasible) {
+			// No hazard-free cover exists under this encoding (real tools
+			// insert extra state variables here); fall back to the plain
+			// two-level cover and record the deficiency.
+			hf = false
+			r, err = hfmin.MinimizePlain(spec)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("function %s: %w", f.name, err)
+		}
+		if !r.Exact {
+			res.Exact = false
+		}
+		if !hf {
+			res.NonHazardFree++
+		}
+		res.Functions = append(res.Functions, FuncResult{
+			Name: f.name, Products: r.Products(), Literals: r.Literals(), Cover: r.Cover, HazardFree: hf,
+		})
+		res.Products += r.Products()
+		res.Literals += r.Literals()
+	}
+	return res, nil
+}
+
+// variableOrder lists inputs (wires, acks, sampled levels), optionally the
+// fed-back outputs (outputs double as state variables, MINIMALIST's output
+// feedback), then the state bits.
+func variableOrder(c *Concrete, bits int, feedback bool) ([]string, map[string]int) {
+	vars := append([]string{}, c.Inputs...)
+	if feedback {
+		vars = append(vars, c.Outputs...)
+	}
+	for b := 0; b < bits; b++ {
+		vars = append(vars, fmt.Sprintf("Y%d", b))
+	}
+	idx := map[string]int{}
+	for i, v := range vars {
+		idx[v] = i
+	}
+	return vars, idx
+}
+
+// baseCube binds the non-state variables at the transition's start: inputs
+// at their nominal levels (dash when free or unknown), sampled conditions
+// at their branch values.
+func baseCube(c *Concrete, from *CState, t *CTrans, vars []string, varIdx map[string]int) logic.Cube {
+	cube := logic.FullCube(len(vars))
+	free := map[string]bool{}
+	for _, f := range t.Free {
+		free[f] = true
+	}
+	for _, sig := range c.Inputs {
+		if free[sig] {
+			continue
+		}
+		if lvl, ok := from.Levels[sig]; ok && lvl >= 0 {
+			cube = cube.With(varIdx[sig], boolVal(lvl == 1))
+		}
+	}
+	// Output feedback (when enabled): the outputs hold their
+	// pre-transition levels while the burst accumulates.
+	for _, sig := range c.Outputs {
+		if i, ok := varIdx[sig]; ok {
+			if lvl, ok2 := from.Levels[sig]; ok2 && lvl >= 0 {
+				cube = cube.With(i, boolVal(lvl == 1))
+			}
+		}
+	}
+	for _, cd := range t.Cond {
+		cube = cube.With(varIdx[cd.Signal], boolVal(cd.Value))
+	}
+	return cube
+}
+
+// postBurstCube binds every input at its nominal level after transition
+// t's burst (state bits left dashed).
+func postBurstCube(c *Concrete, from *CState, t *CTrans, n int) logic.Cube {
+	levels := map[string]int{}
+	for k, v := range from.Levels {
+		levels[k] = v
+	}
+	for _, e := range t.In {
+		// The just-consumed burst signals hold their arrival values while
+		// the state settles; acknowledgments follow their requests only
+		// after the out-burst propagates (tracked in Concretize's state
+		// levels).
+		levels[e.Signal] = b2i(e.Edge == bm.Rise)
+	}
+	cube := logic.FullCube(n)
+	for i, sig := range c.Inputs {
+		if lvl, ok := levels[sig]; ok && lvl >= 0 {
+			cube = cube.With(i, boolVal(lvl == 1))
+		}
+	}
+	for i, sig := range c.Inputs {
+		for _, cd := range t.Cond {
+			if sig == cd.Signal {
+				cube = cube.With(i, boolVal(cd.Value))
+			}
+		}
+	}
+	return cube
+}
+
+// settleCubes builds the start, monotone midpoint and end cubes of the
+// phase-2 settle: inputs at post-burst nominal levels, fed-back outputs and
+// state bits moving from their old to their new values (rising first).
+func settleCubes(c *Concrete, from *CState, t *CTrans, enc map[int]uint64, bits, n int, varIdx map[string]int) (logic.Cube, logic.Cube, logic.Cube) {
+	rest := postBurstCube(c, from, t, n)
+	start, mid, end := rest, rest, rest
+	for _, o := range c.Outputs {
+		i, fed := varIdx[o]
+		if !fed {
+			continue
+		}
+		old := levelOf(from, o)
+		nw := levelAfter(from, t, o)
+		if old < 0 {
+			continue
+		}
+		start = start.With(i, boolVal(old == 1))
+		end = end.With(i, boolVal(nw == 1))
+		mid = mid.With(i, boolVal(old == 1 || nw == 1))
+	}
+	cFrom, cTo := enc[t.From], enc[t.To]
+	cMid := cFrom | cTo
+	for b := 0; b < bits; b++ {
+		start = start.With(n-bits+b, boolVal(cFrom&(1<<uint(b)) != 0))
+		mid = mid.With(n-bits+b, boolVal(cMid&(1<<uint(b)) != 0))
+		end = end.With(n-bits+b, boolVal(cTo&(1<<uint(b)) != 0))
+	}
+	return start, mid, end
+}
+
+func bindState(cube logic.Cube, code uint64, bits, n int) logic.Cube {
+	for b := 0; b < bits; b++ {
+		cube = cube.With(n-bits+b, boolVal(code&(1<<uint(b)) != 0))
+	}
+	return cube
+}
+
+func boolVal(b bool) logic.Val {
+	if b {
+		return logic.One
+	}
+	return logic.Zero
+}
+
+func edgeVal(e bm.Edge) logic.Val {
+	if e == bm.Rise {
+		return logic.One
+	}
+	return logic.Zero
+}
+
+func oppositeVal(e bm.Edge) logic.Val {
+	if e == bm.Rise {
+		return logic.Zero
+	}
+	return logic.One
+}
+
+func levelOf(s *CState, sig string) int {
+	if lvl, ok := s.Levels[sig]; ok {
+		return lvl
+	}
+	return 0
+}
+
+// outEdge returns the edge of signal sig in the out-burst, or -1.
+func outEdge(t *CTrans, sig string) bm.Edge {
+	for _, e := range t.Out {
+		if e.Signal == sig {
+			return e.Edge
+		}
+	}
+	return bm.Edge(-1)
+}
+
+func levelAfter(from *CState, t *CTrans, sig string) int {
+	switch outEdge(t, sig) {
+	case bm.Rise:
+		return 1
+	case bm.Fall:
+		return 0
+	}
+	return levelOf(from, sig)
+}
+
+func dynKind(level int, edge bm.Edge) hfmin.Kind {
+	switch edge {
+	case bm.Rise:
+		return hfmin.Rise
+	case bm.Fall:
+		return hfmin.Fall
+	}
+	return staticLevel(level)
+}
+
+func staticLevel(level int) hfmin.Kind {
+	if level == 1 {
+		return hfmin.Static1
+	}
+	return hfmin.Static0
+}
+
+func bitKind(cFrom, cTo uint64, bit int) hfmin.Kind {
+	f := cFrom&(1<<uint(bit)) != 0
+	t := cTo&(1<<uint(bit)) != 0
+	switch {
+	case f == t && f:
+		return hfmin.Static1
+	case f == t:
+		return hfmin.Static0
+	case t:
+		return hfmin.Rise
+	default:
+		return hfmin.Fall
+	}
+}
+
+// bitPhase2Kind: during the state-change phase the bit function already
+// drives the new value.
+func bitPhase2Kind(cFrom, cTo uint64, bit int) hfmin.Kind {
+	t := cTo&(1<<uint(bit)) != 0
+	return staticLevel(b2i(t))
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func isDynamic(k hfmin.Kind) bool { return k == hfmin.Rise || k == hfmin.Fall }
+
+// staticOf converts a dynamic kind to the static level it settles at (used
+// when no input actually changes in the phase).
+func staticOf(k hfmin.Kind, atStart bool) hfmin.Kind {
+	if k == hfmin.Rise {
+		if atStart {
+			return hfmin.Static0
+		}
+		return hfmin.Static1
+	}
+	if atStart {
+		return hfmin.Static1
+	}
+	return hfmin.Static0
+}
+
+// mkTrans builds an hfmin transition, skipping degenerate ones.
+func mkTrans(start, end logic.Cube, kind hfmin.Kind) (hfmin.Transition, bool) {
+	t := hfmin.Transition{Start: start, End: end, Kind: kind}
+	if isDynamic(kind) {
+		changed := false
+		for i := 0; i < start.N(); i++ {
+			s, e := start.Get(i), end.Get(i)
+			if s != logic.Dash && e != logic.Dash && s != e {
+				changed = true
+			}
+		}
+		if !changed {
+			return t, false
+		}
+	}
+	return t, true
+}
+
+// Summary renders one controller's result as a Figure 13 row.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%-6s %3d products %4d literals (%d states, %d bits%s)",
+		r.Controller, r.Products, r.Literals, r.States, r.StateBits, onehotTag(r.OneHot))
+}
+
+func onehotTag(b bool) string {
+	if b {
+		return ", one-hot"
+	}
+	return ""
+}
+
+// SortFunctions orders function results by name for stable output.
+func (r *Result) SortFunctions() {
+	sort.Slice(r.Functions, func(i, j int) bool { return r.Functions[i].Name < r.Functions[j].Name })
+}

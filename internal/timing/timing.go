@@ -1,0 +1,597 @@
+// Package timing performs conservative min/max interval timing analysis of
+// CDFGs. It is the automated replacement for the "detailed timing analysis"
+// the paper requires before applying the relative-timing transform (GT3)
+// and several local transforms: it computes, for every node instance in a
+// K-iteration unrolling of the graph, the earliest and latest possible
+// firing and completion times under a per-functional-unit delay model.
+package timing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cdfg"
+)
+
+// Interval is a closed [Min,Max] time interval.
+type Interval struct {
+	Min, Max float64
+}
+
+// Add returns the elementwise sum of two intervals.
+func (i Interval) Add(j Interval) Interval {
+	return Interval{Min: i.Min + j.Min, Max: i.Max + j.Max}
+}
+
+// MaxWith returns the interval of max(a,b) for independent a, b.
+func (i Interval) MaxWith(j Interval) Interval {
+	return Interval{Min: math.Max(i.Min, j.Min), Max: math.Max(i.Max, j.Max)}
+}
+
+// Model is a delay model: per-functional-unit operation delays, a default
+// for control and assignment nodes, and a wire propagation delay.
+type Model struct {
+	FUOp      map[string]Interval
+	DefaultOp Interval
+	Wire      Interval
+}
+
+// DefaultModel returns a plausible datapath model: multipliers several
+// times slower than ALUs, modest wire delays.
+func DefaultModel() Model {
+	return Model{
+		FUOp: map[string]Interval{
+			"ALU1": {8, 12}, "ALU2": {8, 12},
+			"MUL1": {30, 40}, "MUL2": {30, 40},
+		},
+		DefaultOp: Interval{1, 2},
+		Wire:      Interval{0.5, 1},
+	}
+}
+
+func (m Model) opDelay(n *cdfg.Node) Interval {
+	if n.UsesFU() {
+		if d, ok := m.FUOp[n.FU]; ok {
+			return d
+		}
+	}
+	return m.DefaultOp
+}
+
+// instance is one firing of a node in the unrolled execution.
+type instance struct {
+	node *cdfg.Node
+	key  string // iteration path, e.g. "" or "2" or "1.0"
+	// ins are incoming timed edges.
+	ins         []*edge
+	start, done Interval
+	order       int
+}
+
+// edge is an instance of a constraint arc in the unrolling.
+type edge struct {
+	arc     *cdfg.Arc
+	from    *instance
+	arrival Interval
+}
+
+// Analysis holds arrival intervals for a K-iteration unrolling.
+type Analysis struct {
+	g     *cdfg.Graph
+	model Model
+	K     int
+	insts map[string]*instance // key: "n<id>@<path>"
+	byArc map[cdfg.ArcID][]*edge
+
+	minMemo map[[2]*instance]float64
+}
+
+func ikey(id cdfg.NodeID, path string) string {
+	return fmt.Sprintf("n%d@%s", id, path)
+}
+
+// Analyze unrolls every loop K times (assuming all iterations execute and
+// every conditional is reachable) and propagates arrival intervals.
+func Analyze(g *cdfg.Graph, m Model, K int) (*Analysis, error) {
+	if K < 2 {
+		K = 2
+	}
+	a := &Analysis{g: g, model: m, K: K, insts: map[string]*instance{}, byArc: map[cdfg.ArcID][]*edge{}}
+	a.buildInstances()
+	a.wireEdges()
+	if err := a.propagate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// loopChain returns the chain of enclosing loop blocks of node n, outermost
+// first. The root/end nodes of a loop live in the parent block, so they are
+// not inside their own loop.
+func (a *Analysis) loopChain(n *cdfg.Node) []*cdfg.Block {
+	var chain []*cdfg.Block
+	b := n.Block
+	for b >= 0 {
+		blk := a.g.Blocks[b]
+		if blk.Kind == cdfg.BlockLoop {
+			chain = append([]*cdfg.Block{blk}, chain...)
+		}
+		b = blk.Parent
+	}
+	return chain
+}
+
+func (a *Analysis) buildInstances() {
+	for _, n := range a.g.Nodes() {
+		for _, p := range a.nodePaths(n) {
+			key := ikey(n.ID, p)
+			a.insts[key] = &instance{node: n, key: p}
+		}
+	}
+}
+
+// nodePaths computes iteration paths uniformly: a node's instance count is
+// K^(number of loops it fires within). LOOP roots fire K+1 times in their
+// own loop (the last examination exits); ENDLOOP fires K times.
+func (a *Analysis) nodePaths(n *cdfg.Node) []string {
+	// Depth components, outermost first. Each component is the number of
+	// instances at that level.
+	var limits []int
+	for _, blk := range a.loopChain(n) {
+		_ = blk
+		limits = append(limits, a.K)
+	}
+	if n.Kind == cdfg.KindLoop {
+		limits = append(limits, a.K+1)
+	}
+	if n.Kind == cdfg.KindEndLoop {
+		limits = append(limits, a.K)
+	}
+	paths := []string{""}
+	for _, lim := range limits {
+		var next []string
+		for _, p := range paths {
+			for i := 0; i < lim; i++ {
+				if p == "" {
+					next = append(next, fmt.Sprintf("%d", i))
+				} else {
+					next = append(next, fmt.Sprintf("%s.%d", p, i))
+				}
+			}
+		}
+		paths = next
+	}
+	return paths
+}
+
+func join(p string, i int) string {
+	if p == "" {
+		return fmt.Sprintf("%d", i)
+	}
+	return fmt.Sprintf("%s.%d", p, i)
+}
+
+// wireEdges connects instances according to arc semantics.
+func (a *Analysis) wireEdges() {
+	g := a.g
+	for _, arc := range g.Arcs() {
+		from, to := g.Node(arc.From), g.Node(arc.To)
+		fromLoop := a.ownLoopOf(from)
+		toLoop := a.ownLoopOf(to)
+		switch {
+		case arc.Kind == cdfg.ArcBackward:
+			// u@(p,i) → v@(p,i+1), plus pre-enable from the loop root's
+			// entry firing.
+			loop := a.innermostCommonLoop(from, to)
+			if loop == nil {
+				continue
+			}
+			for _, p := range a.nodePaths(from) {
+				pp, i := splitLast(p)
+				if i+1 < a.K {
+					a.connect(arc, ikey(from.ID, p), ikey(to.ID, join(pp, i+1)))
+				}
+			}
+			// Pre-enabled on entry: available when the root's first firing
+			// completes.
+			root := g.Node(loop.Root)
+			for _, rp := range a.nodePaths(root) {
+				pp, i := splitLast(rp)
+				if i == 0 {
+					a.connect(arc, ikey(root.ID, rp), ikey(to.ID, join(pp, 0)))
+				}
+			}
+		case arc.Group == cdfg.GroupRepeat:
+			// ENDLOOP@(p,i) → LOOP@(p,i+1).
+			for _, p := range a.nodePaths(from) {
+				pp, i := splitLast(p)
+				a.connect(arc, ikey(from.ID, p), ikey(to.ID, join(pp, i+1)))
+			}
+		case arc.Group == cdfg.GroupEnter:
+			// parent scope → LOOP@(p,0).
+			for _, p := range a.nodePaths(from) {
+				a.connect(arc, ikey(from.ID, p), ikey(to.ID, join(p, 0)))
+			}
+		case to.Kind == cdfg.KindLoop && toLoop != nil && a.sameLoop(fromLoop, toLoop):
+			// Should not occur (covered by groups), kept for safety.
+			continue
+		case from.Kind == cdfg.KindLoop && arc.Branch == cdfg.OutFalse:
+			// Exit arc: LOOP@(p,K) → v@(p).
+			for _, p := range a.nodePaths(from) {
+				pp, i := splitLast(p)
+				if i == a.K {
+					a.connect(arc, ikey(from.ID, p), ikey(to.ID, pp))
+				}
+			}
+		case from.Kind == cdfg.KindLoop && a.nodeInBlockOf(to, from):
+			// Body arc: LOOP@(p,i) → v@(p,i), i<K.
+			for _, p := range a.nodePaths(from) {
+				pp, i := splitLast(p)
+				if i < a.K {
+					a.connect(arc, ikey(from.ID, p), ikey(to.ID, join(pp, i)))
+				}
+			}
+		case to.Kind == cdfg.KindEndLoop && a.nodeInBlockOf(from, to):
+			// Body → ENDLOOP@(p,i): iteration indices align.
+			for _, p := range a.nodePaths(from) {
+				a.connect(arc, ikey(from.ID, p), ikey(to.ID, p))
+			}
+		default:
+			// Same-scope arc: instance paths match directly.
+			for _, p := range a.nodePaths(from) {
+				a.connect(arc, ikey(from.ID, p), ikey(to.ID, p))
+			}
+		}
+	}
+}
+
+// ownLoopOf returns the loop block a node fires within (for LOOP/ENDLOOP
+// nodes, their own loop).
+func (a *Analysis) ownLoopOf(n *cdfg.Node) *cdfg.Block {
+	if n.Kind == cdfg.KindLoop || n.Kind == cdfg.KindEndLoop {
+		for _, b := range a.g.Blocks {
+			if b.Root == n.ID || b.End == n.ID {
+				return b
+			}
+		}
+	}
+	chain := a.loopChain(n)
+	if len(chain) == 0 {
+		return nil
+	}
+	return chain[len(chain)-1]
+}
+
+func (a *Analysis) sameLoop(x, y *cdfg.Block) bool {
+	return x != nil && y != nil && x.ID == y.ID
+}
+
+// innermostCommonLoop returns the innermost loop containing both endpoints.
+func (a *Analysis) innermostCommonLoop(u, v *cdfg.Node) *cdfg.Block {
+	cu, cv := a.loopChain(u), a.loopChain(v)
+	var last *cdfg.Block
+	for i := 0; i < len(cu) && i < len(cv); i++ {
+		if cu[i].ID == cv[i].ID {
+			last = cu[i]
+		}
+	}
+	return last
+}
+
+// nodeInBlockOf reports whether node n is (transitively) inside the block
+// rooted/ended at boundary node b.
+func (a *Analysis) nodeInBlockOf(n, boundary *cdfg.Node) bool {
+	var blk *cdfg.Block
+	for _, b := range a.g.Blocks {
+		if b.Root == boundary.ID || b.End == boundary.ID {
+			blk = b
+			break
+		}
+	}
+	if blk == nil {
+		return false
+	}
+	cur := n.Block
+	for cur >= 0 {
+		if cur == blk.ID {
+			return true
+		}
+		cur = a.g.Blocks[cur].Parent
+	}
+	return false
+}
+
+func splitLast(p string) (string, int) {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '.' {
+			var n int
+			fmt.Sscanf(p[i+1:], "%d", &n)
+			return p[:i], n
+		}
+	}
+	var n int
+	fmt.Sscanf(p, "%d", &n)
+	return "", n
+}
+
+func (a *Analysis) connect(arc *cdfg.Arc, fromKey, toKey string) {
+	fi, ti := a.insts[fromKey], a.insts[toKey]
+	if fi == nil || ti == nil {
+		return
+	}
+	e := &edge{arc: arc, from: fi}
+	ti.ins = append(ti.ins, e)
+	a.byArc[arc.ID] = append(a.byArc[arc.ID], e)
+}
+
+// propagate computes start/done intervals in topological order.
+func (a *Analysis) propagate() error {
+	// Topological sort by DFS over the instance graph.
+	type state int
+	const (
+		white, grey, black state = 0, 1, 2
+	)
+	marks := map[*instance]state{}
+	var order []*instance
+	// Build reverse adjacency on the fly: instance → its ins[].from.
+	var visit func(i *instance) error
+	visit = func(i *instance) error {
+		switch marks[i] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("timing: cycle through %s@%s", i.node.Label(), i.key)
+		}
+		marks[i] = grey
+		for _, e := range i.ins {
+			if err := visit(e.from); err != nil {
+				return err
+			}
+		}
+		marks[i] = black
+		order = append(order, i)
+		return nil
+	}
+	var keys []string
+	for k := range a.insts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := visit(a.insts[k]); err != nil {
+			return err
+		}
+	}
+	for idx, i := range order {
+		i.order = idx
+		if len(i.ins) == 0 {
+			i.start = Interval{0, 0}
+		} else {
+			first := true
+			for _, e := range i.ins {
+				e.arrival = e.from.done.Add(a.model.Wire)
+				if first {
+					i.start = e.arrival
+					first = false
+				} else {
+					i.start = i.start.MaxWith(e.arrival)
+				}
+			}
+		}
+		i.done = i.start.Add(a.model.opDelay(i.node))
+	}
+	return nil
+}
+
+// Makespan returns the completion interval of the END node (for the
+// unrolled, all-iterations-taken execution).
+func (a *Analysis) Makespan() Interval {
+	i := a.insts[ikey(a.g.End, "")]
+	if i == nil {
+		return Interval{}
+	}
+	return i.done
+}
+
+// NodeDone returns the completion interval of a node instance.
+func (a *Analysis) NodeDone(id cdfg.NodeID, path string) (Interval, bool) {
+	i := a.insts[ikey(id, path)]
+	if i == nil {
+		return Interval{}, false
+	}
+	return i.done, true
+}
+
+// ArcAlwaysCovered reports whether arc e is never the last constraint to
+// arrive at its destination, for every instance in the unrolling. Such arcs
+// can be removed by the relative-timing transform (GT3).
+//
+// Absolute arrival intervals decorrelate events that share ancestors (the
+// uncertainty of earlier iterations inflates both bounds), so coverage is
+// proven relative to common ancestor events: e's latest arrival is bounded
+// by expanding a frontier of ancestors with accumulated worst-case path
+// delays, and each frontier member must reach the witness edge e' through
+// an always-executed path whose best-case delay is at least as large.
+func (a *Analysis) ArcAlwaysCovered(e *cdfg.Arc) bool {
+	edges := a.byArc[e.ID]
+	if len(edges) == 0 {
+		return false
+	}
+	for _, inst := range a.instList() {
+		for _, ie := range inst.ins {
+			if ie.arc.ID != e.ID {
+				continue
+			}
+			covered := false
+			for _, other := range inst.ins {
+				if other.arc.ID == e.ID || other == ie {
+					continue
+				}
+				if !a.unconditionalFor(other.arc, inst.node) {
+					continue
+				}
+				if a.edgeDominates(other, ie, inst) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (a *Analysis) instList() []*instance {
+	var keys []string
+	for k := range a.insts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*instance, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, a.insts[k])
+	}
+	return out
+}
+
+// edgeDominates reports whether the arrival of edge fast at inst provably
+// never exceeds the arrival of edge slow, by frontier expansion: the
+// worst-case arrival of fast is a max over (ancestor completion + path
+// delay) terms; each term must be dominated by a best-case always-executed
+// path from the same ancestor to slow's arrival.
+func (a *Analysis) edgeDominates(slow, fast *edge, inst *instance) bool {
+	const maxFrontier = 64
+	type fr struct {
+		inst   *instance
+		offset float64 // max delay from inst.done to fast's arrival
+	}
+	frontier := []fr{{inst: fast.from, offset: a.model.Wire.Max}}
+	for steps := 0; steps < maxFrontier; steps++ {
+		// Find an unsatisfied frontier member.
+		idx := -1
+		for i, f := range frontier {
+			min, ok := a.minPathToArrival(f.inst, slow)
+			if !ok || min < f.offset {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return true
+		}
+		f := frontier[idx]
+		if len(f.inst.ins) == 0 {
+			return false // reached a primary source without domination
+		}
+		frontier = append(frontier[:idx], frontier[idx+1:]...)
+		// Replace by predecessors with accumulated worst-case delay.
+		opMax := a.model.opDelay(f.inst.node).Max
+		for _, in := range f.inst.ins {
+			off := f.offset + opMax + a.model.Wire.Max
+			merged := false
+			for i := range frontier {
+				if frontier[i].inst == in.from {
+					if off > frontier[i].offset {
+						frontier[i].offset = off
+					}
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				frontier = append(frontier, fr{inst: in.from, offset: off})
+			}
+		}
+		if len(frontier) > maxFrontier {
+			return false
+		}
+	}
+	return false
+}
+
+// minPathToArrival returns a lower bound on the delay from ancestor x's
+// completion to the arrival of edge w at its destination, using only
+// always-executed path segments; ok is false when x is not an ancestor of
+// w's source.
+func (a *Analysis) minPathToArrival(x *instance, w *edge) (float64, bool) {
+	d, ok := a.minDoneToDone(x, w.from)
+	if !ok {
+		return 0, false
+	}
+	return d + a.model.Wire.Min, true
+}
+
+// minDoneToDone returns a lower bound on the completion-to-completion delay
+// from x to y, along dependency paths whose intermediate nodes always
+// execute when y does; ok is false when x is not an ancestor of y. Because
+// y's start is the max over all its arrivals, every in-edge that descends
+// from x yields a valid lower bound, and the tightest is their maximum.
+func (a *Analysis) minDoneToDone(x, y *instance) (float64, bool) {
+	if x == y {
+		return 0, true
+	}
+	if a.minMemo == nil {
+		a.minMemo = map[[2]*instance]float64{}
+	}
+	if v, ok := a.minMemo[[2]*instance{x, y}]; ok {
+		if math.IsInf(v, -1) {
+			return 0, false
+		}
+		return v, true
+	}
+	// Mark in progress to cut (impossible) cycles.
+	a.minMemo[[2]*instance{x, y}] = math.Inf(-1)
+	best := math.Inf(-1)
+	for _, in := range y.ins {
+		if !a.unconditionalFor(in.arc, y.node) {
+			continue
+		}
+		d, ok := a.minDoneToDone(x, in.from)
+		if !ok {
+			continue
+		}
+		cand := d + a.model.Wire.Min + a.model.opDelay(y.node).Min
+		if cand > best {
+			best = cand
+		}
+	}
+	a.minMemo[[2]*instance{x, y}] = best
+	if math.IsInf(best, -1) {
+		return 0, false
+	}
+	return best, true
+}
+
+// unconditionalFor reports whether arc o's source always fires when the
+// destination node fires: the source's if-block ancestry must be a subset
+// of the destination's.
+func (a *Analysis) unconditionalFor(o *cdfg.Arc, dst *cdfg.Node) bool {
+	src := a.g.Node(o.From)
+	srcIfs := a.ifChain(src)
+	dstIfs := map[int]bool{}
+	for _, b := range a.ifChain(dst) {
+		dstIfs[b] = true
+	}
+	for _, b := range srcIfs {
+		if !dstIfs[b] {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Analysis) ifChain(n *cdfg.Node) []int {
+	var out []int
+	b := n.Block
+	for b >= 0 {
+		blk := a.g.Blocks[b]
+		if blk.Kind == cdfg.BlockIf {
+			out = append(out, blk.ID)
+		}
+		b = blk.Parent
+	}
+	return out
+}

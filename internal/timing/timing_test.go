@@ -1,0 +1,187 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/diffeq"
+)
+
+func analyzeDiffeq(t *testing.T, K int) (*cdfg.Graph, *Analysis) {
+	t.Helper()
+	g := diffeq.Build(diffeq.DefaultParams())
+	a, err := Analyze(g, DefaultModel(), K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, a
+}
+
+func TestAnalyzeDiffeq(t *testing.T) {
+	_, a := analyzeDiffeq(t, 3)
+	ms := a.Makespan()
+	if ms.Min <= 0 || ms.Max < ms.Min {
+		t.Errorf("makespan = %+v, want positive well-ordered interval", ms)
+	}
+}
+
+func TestIntervalOps(t *testing.T) {
+	a, b := Interval{1, 2}, Interval{3, 5}
+	if s := a.Add(b); s != (Interval{4, 7}) {
+		t.Errorf("Add = %+v", s)
+	}
+	if m := a.MaxWith(b); m != (Interval{3, 5}) {
+		t.Errorf("MaxWith = %+v", m)
+	}
+	if m := (Interval{1, 10}).MaxWith(Interval{3, 5}); m != (Interval{3, 10}) {
+		t.Errorf("overlapping MaxWith = %+v", m)
+	}
+}
+
+func findArc(t *testing.T, g *cdfg.Graph, from, to string) *cdfg.Arc {
+	t.Helper()
+	var fn, tn *cdfg.Node
+	for _, n := range g.Nodes() {
+		if n.Label() == from {
+			fn = n
+		}
+		if n.Label() == to {
+			tn = n
+		}
+	}
+	if fn == nil || tn == nil {
+		t.Fatalf("nodes %q/%q not found", from, to)
+	}
+	a := g.FindArc(fn.ID, tn.ID)
+	if a == nil {
+		t.Fatalf("no arc %s -> %s", from, to)
+	}
+	return a
+}
+
+// The paper's GT3 example: arc 10 (M2:=U*dx → U:=U-M1) is enabled after one
+// multiplication while arc 11 (M1:=A*B → U:=U-M1) requires three chained
+// operations, so arc 10 is never the last to arrive.
+func TestArc10AlwaysCovered(t *testing.T) {
+	g, a := analyzeDiffeq(t, 3)
+	arc10 := findArc(t, g, "M2:=U*dx", "U:=U-M1")
+	if !a.ArcAlwaysCovered(arc10) {
+		t.Error("arc 10 (M2→U) should be covered by arc 11 (M1b→U)")
+	}
+	// The converse must not hold: arc 11 is on the critical path.
+	arc11 := findArc(t, g, "M1:=A*B", "U:=U-M1")
+	if a.ArcAlwaysCovered(arc11) {
+		t.Error("arc 11 (M1b→U) must not be removable")
+	}
+}
+
+func TestCriticalArcNotCovered(t *testing.T) {
+	g, a := analyzeDiffeq(t, 3)
+	// The data arc M1a→A is A's enabling input; removing it would be wrong.
+	arc := findArc(t, g, "M1:=U*X1", "A:=Y+M1")
+	if a.ArcAlwaysCovered(arc) {
+		t.Error("M1a→A must not be removable")
+	}
+}
+
+func TestMakespanScalesWithIterations(t *testing.T) {
+	_, a2 := analyzeDiffeq(t, 2)
+	_, a5 := analyzeDiffeq(t, 5)
+	if a5.Makespan().Min <= a2.Makespan().Min {
+		t.Errorf("makespan should grow with unroll depth: K=2 %+v, K=5 %+v",
+			a2.Makespan(), a5.Makespan())
+	}
+}
+
+func TestNodeDoneMonotoneAcrossIterations(t *testing.T) {
+	g, a := analyzeDiffeq(t, 4)
+	var loop cdfg.NodeID
+	for _, n := range g.Nodes() {
+		if n.Kind == cdfg.KindLoop {
+			loop = n.ID
+		}
+	}
+	prev := Interval{-1, -1}
+	for i := 0; i <= 4; i++ {
+		d, ok := a.NodeDone(loop, itoa(i))
+		if !ok {
+			t.Fatalf("no LOOP instance %d", i)
+		}
+		if d.Min <= prev.Min {
+			t.Errorf("LOOP@%d done %+v not after LOOP@%d %+v", i, d, i-1, prev)
+		}
+		prev = d
+	}
+}
+
+func itoa(i int) string {
+	return string(rune('0' + i))
+}
+
+func TestSlowWiresWidenMakespan(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	fast := DefaultModel()
+	slow := DefaultModel()
+	slow.Wire = Interval{5, 10}
+	af, err := Analyze(g, fast, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := Analyze(g, slow, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Makespan().Min <= af.Makespan().Min {
+		t.Error("slower wires should increase the makespan")
+	}
+}
+
+func TestConditionalSourceNotAWitness(t *testing.T) {
+	// A node fed both by an unconditional arc and an arc from inside an if
+	// body: the conditional arc must never serve as the covering witness.
+	p := cdfg.NewProgram("cond", "A", "B")
+	p.Init("c", 1)
+	p.Op("A", "x", cdfg.OpAdd, "u", "v")
+	p.If("A", "c")
+	p.Op("A", "y", cdfg.OpAdd, "u", "v")
+	p.EndIf()
+	p.Op("B", "z", cdfg.OpAdd, "x", "y")
+	g, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(g, Model{DefaultOp: Interval{1, 2}, Wire: Interval{0.5, 1}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The x→z data arc arrives early; its only later-arriving companion is
+	// the ENDIF path, which is unconditional (ENDIF always fires), so this
+	// checks the plumbing rather than rejecting: the arc x→z may be covered
+	// by the ENDIF→z dependency.
+	arc := findArc(t, g, "x:=u+v", "z:=x+y")
+	_ = a.ArcAlwaysCovered(arc) // must not panic; result model-dependent
+}
+
+func TestAnalyzeNestedLoops(t *testing.T) {
+	p := cdfg.NewProgram("nest", "A")
+	p.Init("c", 1).Init("d", 1)
+	p.Loop("A", "c")
+	p.Op("A", "x", cdfg.OpAdd, "x", "one")
+	p.Loop("A", "d")
+	p.Op("A", "y", cdfg.OpAdd, "y", "one")
+	p.EndLoop()
+	p.Op("A", "z", cdfg.OpAdd, "z", "one")
+	p.EndLoop()
+	p.Const("one").Init("one", 1)
+	g, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(g, Model{DefaultOp: Interval{1, 2}, Wire: Interval{0.5, 1}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan().Min <= 0 {
+		t.Errorf("nested loop makespan = %+v", a.Makespan())
+	}
+}

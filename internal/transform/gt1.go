@@ -1,0 +1,185 @@
+package transform
+
+import (
+	"sort"
+
+	"repro/internal/cdfg"
+)
+
+// LoopParallelism applies GT1 to every loop block of the graph. The four
+// steps of §3.1:
+//
+//	A. remove the synchronization arcs into ENDLOOP (only the owner unit's
+//	   scheduling arc remains), so successive loop bodies may overlap;
+//	B. add backward arcs from the last to the first instances of every
+//	   loop-body variable, carrying the data/anti dependencies across the
+//	   iteration boundary;
+//	C. constrain the loop variable: its last write must precede ENDLOOP
+//	   (added only if not already implied);
+//	D. limit parallelism to two consecutive iterations: the first use of
+//	   each functional unit must precede ENDLOOP (added only if not
+//	   already implied), so no wire ever queues two pending requests.
+//
+// The transform is safe under the paper's loop-exit timing assumption: when
+// the loop exits, all in-flight operations of the final iteration complete
+// before their results are needed.
+func LoopParallelism(g *cdfg.Graph) (*Report, error) {
+	rep := &Report{Name: "GT1 loop-parallelism"}
+	for _, blk := range g.Blocks {
+		if blk.Kind != cdfg.BlockLoop {
+			continue
+		}
+		if err := loopParallelismOn(g, blk, rep); err != nil {
+			return rep, err
+		}
+	}
+	if rep.Changed() {
+		rep.note("timing assumption: loop components complete before needed at exit")
+	}
+	return rep, nil
+}
+
+func loopParallelismOn(g *cdfg.Graph, blk *cdfg.Block, rep *Report) error {
+	end := g.Node(blk.End)
+
+	// Step A: remove arcs into ENDLOOP except the owner unit's scheduling
+	// arc(s).
+	for _, a := range g.In(end.ID) {
+		from := g.Node(a.From)
+		if a.Kind == cdfg.ArcSched && from.FU == end.FU {
+			continue
+		}
+		rep.remove(g, a)
+		g.RemoveArc(a.ID)
+	}
+
+	reach := cdfg.NewReach(g)
+
+	// Step B: backward arcs for loop-body variables.
+	for _, reg := range g.BlockRegs(blk.ID) {
+		if !g.BlockWritesReg(blk.ID, reg) {
+			continue // read-only in the body: no cross-iteration hazard
+		}
+		accesses := g.RegAccessesIn(blk.ID, reg)
+		if len(accesses) < 2 {
+			continue
+		}
+		lasts := maximalAccesses(reach, accesses)
+		firsts := minimalAccesses(reach, accesses)
+		for _, l := range lasts {
+			for _, f := range firsts {
+				if l.InNode == f.InNode {
+					continue
+				}
+				if !l.Writes && !f.Writes {
+					continue // read-read pairs carry no hazard
+				}
+				a := &cdfg.Arc{
+					From:   l.OutNode,
+					To:     f.InNode,
+					Kind:   cdfg.ArcBackward,
+					Branch: l.OutBranch,
+					Note:   reg,
+				}
+				id := g.AddArc(a)
+				if id == a.ID { // freshly added (not coalesced)
+					rep.add(g, a)
+				}
+			}
+		}
+	}
+
+	reach = cdfg.NewReach(g)
+
+	// Step C: the loop variable's last write must precede ENDLOOP.
+	root := g.Node(blk.Root)
+	writes := g.RegAccessesIn(blk.ID, root.Cond)
+	var lastWrites []cdfg.RegAccess
+	var onlyWrites []cdfg.RegAccess
+	for _, a := range writes {
+		if a.Writes {
+			onlyWrites = append(onlyWrites, a)
+		}
+	}
+	lastWrites = maximalAccesses(reach, onlyWrites)
+	for _, w := range lastWrites {
+		if reach.WouldDominate(w.OutNode, end.ID, false) {
+			rep.note("step C: (%s → ENDLOOP) already implied", g.Node(w.OutNode).Label())
+			continue
+		}
+		a := &cdfg.Arc{From: w.OutNode, To: end.ID, Kind: cdfg.ArcControl, Branch: w.OutBranch, Note: root.Cond}
+		g.AddArc(a)
+		rep.add(g, a)
+		reach = cdfg.NewReach(g)
+	}
+
+	// Step D: first use of each functional unit must precede ENDLOOP.
+	for _, fu := range g.FUs {
+		first := firstUseInBlock(g, blk.ID, fu)
+		if first == nil {
+			continue
+		}
+		if reach.WouldDominate(first.ID, end.ID, false) {
+			rep.note("step D: (%s → ENDLOOP) already implied", first.Label())
+			continue
+		}
+		a := &cdfg.Arc{From: first.ID, To: end.ID, Kind: cdfg.ArcControl, Note: fu}
+		g.AddArc(a)
+		rep.add(g, a)
+		reach = cdfg.NewReach(g)
+	}
+	return nil
+}
+
+// maximalAccesses returns the accesses not preceding any other access.
+func maximalAccesses(reach *cdfg.Reach, acc []cdfg.RegAccess) []cdfg.RegAccess {
+	var out []cdfg.RegAccess
+	for i, a := range acc {
+		isMax := true
+		for j, b := range acc {
+			if i != j && reach.Precedes(a.InNode, b.InNode) {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// minimalAccesses returns the accesses not preceded by any other access.
+func minimalAccesses(reach *cdfg.Reach, acc []cdfg.RegAccess) []cdfg.RegAccess {
+	var out []cdfg.RegAccess
+	for i, a := range acc {
+		isMin := true
+		for j, b := range acc {
+			if i != j && reach.Precedes(b.InNode, a.InNode) {
+				isMin = false
+				break
+			}
+		}
+		if isMin {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// firstUseInBlock returns the earliest node (by program order) bound to fu
+// inside the block, transitively.
+func firstUseInBlock(g *cdfg.Graph, block int, fu string) *cdfg.Node {
+	var candidates []*cdfg.Node
+	for _, n := range g.Nodes() {
+		if n.FU == fu && g.NodeInBlock(n.ID, block) &&
+			n.Kind != cdfg.KindLoop && n.Kind != cdfg.KindEndLoop {
+			candidates = append(candidates, n)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Order < candidates[j].Order })
+	return candidates[0]
+}

@@ -1,0 +1,44 @@
+package transform
+
+import (
+	"repro/internal/cdfg"
+	"repro/internal/timing"
+)
+
+// RelativeTiming applies GT3 (§3.3): it removes data and register-allocation
+// constraint arcs that are provably never the last to arrive at their
+// destination under the given delay model — the receiving operation is
+// already held back by a slower constraint on every execution path.
+//
+// Scheduling and control arcs are never candidates: they implement
+// functional-unit exclusivity and loop control, which relative timing must
+// not touch. Every removal is recorded together with the timing assumption
+// it introduces.
+func RelativeTiming(g *cdfg.Graph, model timing.Model, unroll int) (*Report, error) {
+	rep := &Report{Name: "GT3 relative-timing"}
+	for {
+		an, err := timing.Analyze(g, model, unroll)
+		if err != nil {
+			return rep, err
+		}
+		changed := false
+		for _, a := range g.Arcs() {
+			if a.Kind != cdfg.ArcData && a.Kind != cdfg.ArcRegAlloc && a.Kind != cdfg.ArcBackward {
+				continue
+			}
+			if !removalSafe(g, a) {
+				continue
+			}
+			if an.ArcAlwaysCovered(a) {
+				rep.remove(g, a)
+				rep.note("timing assumption: %s always arrives before a slower sibling constraint", describeArc(g, a))
+				g.RemoveArc(a.ID)
+				changed = true
+				break // re-analyze after each removal
+			}
+		}
+		if !changed {
+			return rep, nil
+		}
+	}
+}

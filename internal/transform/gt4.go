@@ -1,0 +1,125 @@
+package transform
+
+import "repro/internal/cdfg"
+
+// MergeAssignments applies GT4 (§3.4): assignment nodes (pure register
+// moves, which do not occupy the functional unit's datapath) are merged
+// into the preceding — or, failing that, the following — operation node of
+// the same unit, so the move executes in parallel with the operation.
+//
+// A merge is legal when the two nodes touch disjoint registers (no
+// dependency between them) and no indirect constraint path connects them
+// through other units (merging would otherwise create a wait-for cycle).
+func MergeAssignments(g *cdfg.Graph) (*Report, error) {
+	rep := &Report{Name: "GT4 merge-assignments"}
+	for {
+		merged := false
+		for _, n := range g.Nodes() {
+			if n.Kind != cdfg.KindAssign {
+				continue
+			}
+			if m := mergeCandidate(g, n); m != nil {
+				rep.note("merge %s into %s", n.Label(), m.Label())
+				mergeInto(g, m, n)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			return rep, nil
+		}
+	}
+}
+
+// mergeCandidate returns the node to absorb assignment n: its scheduling
+// predecessor if legal, otherwise its scheduling successor, otherwise nil.
+func mergeCandidate(g *cdfg.Graph, n *cdfg.Node) *cdfg.Node {
+	var prev, next *cdfg.Node
+	for _, a := range g.In(n.ID) {
+		from := g.Node(a.From)
+		if a.Kind == cdfg.ArcSched && from.FU == n.FU && isMergeableKind(from) {
+			prev = from
+		}
+	}
+	for _, a := range g.Out(n.ID) {
+		to := g.Node(a.To)
+		if a.Kind == cdfg.ArcSched && to.FU == n.FU && isMergeableKind(to) {
+			next = to
+		}
+	}
+	if prev != nil && canMerge(g, prev, n) {
+		return prev
+	}
+	if next != nil && canMerge(g, next, n) {
+		return next
+	}
+	return nil
+}
+
+func isMergeableKind(n *cdfg.Node) bool {
+	return n.Kind == cdfg.KindOp || n.Kind == cdfg.KindAssign
+}
+
+// canMerge checks the legality conditions for executing m and n in
+// parallel as a single node.
+func canMerge(g *cdfg.Graph, m, n *cdfg.Node) bool {
+	if m.Block != n.Block {
+		return false
+	}
+	if sharesRegs(m.Writes(), n.Reads()) || sharesRegs(n.Writes(), m.Reads()) ||
+		sharesRegs(m.Writes(), n.Writes()) {
+		return false
+	}
+	// No indirect path between the two nodes (other than direct arcs):
+	// merging would turn it into a wait-for cycle.
+	direct1, direct2 := g.FindArc(m.ID, n.ID), g.FindArc(n.ID, m.ID)
+	reach := reachWithout(g, direct1, direct2)
+	if reach.Precedes(m.ID, n.ID) || reach.Precedes(n.ID, m.ID) {
+		return false
+	}
+	return true
+}
+
+// reachWithout builds reachability on a copy of g with the given arcs
+// removed.
+func reachWithout(g *cdfg.Graph, arcs ...*cdfg.Arc) *cdfg.Reach {
+	c := g.Clone()
+	for _, a := range arcs {
+		if a != nil {
+			c.RemoveArc(a.ID)
+		}
+	}
+	return cdfg.NewReach(c)
+}
+
+func sharesRegs(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mergeInto absorbs node n into node m: statements concatenate (parallel
+// execution) and n's arcs are rewired to m.
+func mergeInto(g *cdfg.Graph, m, n *cdfg.Node) {
+	m.Stmts = append(m.Stmts, n.Stmts...)
+	for _, a := range g.In(n.ID) {
+		g.RemoveArc(a.ID)
+		if a.From == m.ID {
+			continue
+		}
+		g.AddArc(&cdfg.Arc{From: a.From, To: m.ID, Kind: a.Kind, Group: a.Group, Branch: a.Branch, Note: a.Note})
+	}
+	for _, a := range g.Out(n.ID) {
+		g.RemoveArc(a.ID)
+		if a.To == m.ID {
+			continue
+		}
+		g.AddArc(&cdfg.Arc{From: m.ID, To: a.To, Kind: a.Kind, Group: a.Group, Branch: a.Branch, Note: a.Note})
+	}
+	g.RemoveNode(n.ID)
+}

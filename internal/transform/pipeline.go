@@ -1,0 +1,67 @@
+package transform
+
+import (
+	"repro/internal/cdfg"
+	"repro/internal/timing"
+)
+
+// Options configures the global optimization pipeline.
+type Options struct {
+	// Timing is the delay model used by the relative-timing transform
+	// (GT3). Zero value disables GT3.
+	Timing timing.Model
+	// Unroll is the loop unrolling depth for timing analysis (default 3).
+	Unroll int
+	// Skip flags disable individual transforms for ablation studies.
+	SkipGT1, SkipGT2, SkipGT3, SkipGT4, SkipGT5 bool
+}
+
+// DefaultOptions enables the full pipeline with the default delay model.
+func DefaultOptions() Options {
+	return Options{Timing: timing.DefaultModel(), Unroll: 3}
+}
+
+// hasTiming reports whether a usable delay model was supplied.
+func (o Options) hasTiming() bool {
+	return o.Timing.DefaultOp.Max > 0 || len(o.Timing.FUOp) > 0
+}
+
+// OptimizeGT applies the paper's global transformation script — GT1 loop
+// parallelism, GT2 dominated-constraint removal, GT3 relative timing, GT4
+// assignment merging, GT5 channel elimination — to the graph in place, and
+// returns the resulting channel plan plus per-transform reports.
+func OptimizeGT(g *cdfg.Graph, opt Options) (*Plan, []*Report, error) {
+	if opt.Unroll == 0 {
+		opt.Unroll = 3
+	}
+	var reports []*Report
+	run := func(skip bool, f func() (*Report, error)) error {
+		if skip {
+			return nil
+		}
+		rep, err := f()
+		if rep != nil {
+			reports = append(reports, rep)
+		}
+		return err
+	}
+	if err := run(opt.SkipGT1, func() (*Report, error) { return LoopParallelism(g) }); err != nil {
+		return nil, reports, err
+	}
+	if err := run(opt.SkipGT2, func() (*Report, error) { return RemoveDominated(g) }); err != nil {
+		return nil, reports, err
+	}
+	if !opt.SkipGT3 && opt.hasTiming() {
+		if err := run(false, func() (*Report, error) { return RelativeTiming(g, opt.Timing, opt.Unroll) }); err != nil {
+			return nil, reports, err
+		}
+	}
+	if err := run(opt.SkipGT4, func() (*Report, error) { return MergeAssignments(g) }); err != nil {
+		return nil, reports, err
+	}
+	plan := BuildChannels(g)
+	if !opt.SkipGT5 {
+		reports = append(reports, plan.Eliminate())
+	}
+	return plan, reports, nil
+}

@@ -1,0 +1,93 @@
+// Package transform implements the paper's global transformations on
+// scheduled CDFGs (GT1–GT5): loop parallelism, removal of dominated
+// constraints, relative-timing arc removal, merging of assignment nodes,
+// and communication channel elimination (multiplexing, concurrency
+// reduction, symmetrization). Applied in sequence they turn the
+// unoptimized constraint structure into the paper's optimized
+// inter-controller communication (Figures 1 → 3 → 4 → 6).
+package transform
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cdfg"
+)
+
+// Report records what a transformation did, for traceability and the
+// design-space exploration scripts.
+type Report struct {
+	Name    string
+	Added   []string
+	Removed []string
+	Notes   []string
+}
+
+func (r *Report) add(g *cdfg.Graph, a *cdfg.Arc) {
+	r.Added = append(r.Added, describeArc(g, a))
+}
+
+func (r *Report) remove(g *cdfg.Graph, a *cdfg.Arc) {
+	r.Removed = append(r.Removed, describeArc(g, a))
+}
+
+func (r *Report) note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Changed reports whether the transformation modified the graph.
+func (r *Report) Changed() bool {
+	return len(r.Added)+len(r.Removed) > 0
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: +%d arcs, -%d arcs", r.Name, len(r.Added), len(r.Removed))
+	for _, a := range r.Added {
+		fmt.Fprintf(&b, "\n  + %s", a)
+	}
+	for _, a := range r.Removed {
+		fmt.Fprintf(&b, "\n  - %s", a)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\n  · %s", n)
+	}
+	return b.String()
+}
+
+func describeArc(g *cdfg.Graph, a *cdfg.Arc) string {
+	from, to := g.Node(a.From), g.Node(a.To)
+	fl, tl := fmt.Sprintf("n%d", a.From), fmt.Sprintf("n%d", a.To)
+	if from != nil {
+		fl = from.Label()
+	}
+	if to != nil {
+		tl = to.Label()
+	}
+	return fmt.Sprintf("(%s → %s) [%s]", fl, tl, a.Kind)
+}
+
+// removalSafe reports whether arc a can be deleted without breaking node
+// firing: the destination keeps at least one in-arc, and a's firing group
+// does not become empty while alternatives exist.
+func removalSafe(g *cdfg.Graph, a *cdfg.Arc) bool {
+	if a.Group == cdfg.GroupRepeat {
+		return false // the loop re-arm arc is structural
+	}
+	in := g.In(a.To)
+	if len(in) <= 1 {
+		return false
+	}
+	if a.Group != cdfg.GroupAll {
+		rest := 0
+		for _, e := range in {
+			if e.ID != a.ID && e.Group == a.Group {
+				rest++
+			}
+		}
+		if rest == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,467 @@
+package transform
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/diffeq"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+func node(t *testing.T, g *cdfg.Graph, label string) *cdfg.Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Label() == label {
+			return n
+		}
+	}
+	t.Fatalf("no node %q in:\n%s", label, g)
+	return nil
+}
+
+func hasArc(g *cdfg.Graph, from, to *cdfg.Node) bool {
+	return g.FindArc(from.ID, to.ID) != nil
+}
+
+func backwardArcs(g *cdfg.Graph) []*cdfg.Arc {
+	var out []*cdfg.Arc
+	for _, a := range g.Arcs() {
+		if a.Kind == cdfg.ArcBackward {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// TestGT1GT2Figure3 verifies the paper's Figure 3: after loop parallelism
+// and dominated-constraint removal, exactly two backward arcs remain (arcs
+// 8 and 9: U:=U-M1 → M1:=U*X1 and U:=U-M1 → M2:=U*dx) and ENDLOOP keeps
+// only the scheduling arc from C:=X<a.
+func TestGT1GT2Figure3(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	if _, err := LoopParallelism(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RemoveDominated(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("validate: %v\n%s", err, g)
+	}
+
+	// ENDLOOP synchronization reduced to the owner's scheduling arc.
+	el := node(t, g, "ENDLOOP")
+	in := g.In(el.ID)
+	if len(in) != 1 {
+		t.Errorf("ENDLOOP in-degree = %d, want 1\n%s", len(in), g)
+	} else if from := g.Node(in[0].From).Label(); from != "C:=X<a" {
+		t.Errorf("ENDLOOP fed by %s, want C:=X<a", from)
+	}
+
+	// Exactly the two backward arcs of Figure 3 survive.
+	u := node(t, g, "U:=U-M1")
+	m1a := node(t, g, "M1:=U*X1")
+	m2 := node(t, g, "M2:=U*dx")
+	ba := backwardArcs(g)
+	if len(ba) != 2 {
+		for _, a := range ba {
+			t.Logf("backward: %s", describeArc(g, a))
+		}
+		t.Fatalf("backward arc count = %d, want 2 (arcs 8 and 9)", len(ba))
+	}
+	want := map[[2]cdfg.NodeID]bool{
+		{u.ID, m1a.ID}: true,
+		{u.ID, m2.ID}:  true,
+	}
+	for _, a := range ba {
+		if !want[[2]cdfg.NodeID{a.From, a.To}] {
+			t.Errorf("unexpected backward arc %s", describeArc(g, a))
+		}
+	}
+
+	// GT2 removed the dominated arc 5 (LOOP → A := Y+M1).
+	loop := node(t, g, "LOOP C")
+	a := node(t, g, "A:=Y+M1")
+	if hasArc(g, loop, a) {
+		t.Error("dominated arc LOOP→A (arc 5) still present")
+	}
+	// M1a→X1 and M1a→U anti-dependencies are dominated too.
+	x1 := node(t, g, "X1:=X")
+	if hasArc(g, m1a, x1) {
+		t.Error("dominated arc M1a→X1 still present")
+	}
+	if hasArc(g, m1a, u) {
+		t.Error("dominated arc M1a→U still present")
+	}
+}
+
+// TestGT3Figure4 verifies the relative-timing removal of arc 10 (M2→U)
+// while arc 11 (M1b→U) stays.
+func TestGT3Figure4(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	mustApply(t, g, LoopParallelism)
+	mustApply(t, g, RemoveDominated)
+	rep, err := RelativeTiming(g, timing.DefaultModel(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := node(t, g, "M2:=U*dx")
+	u := node(t, g, "U:=U-M1")
+	m1b := node(t, g, "M1:=A*B")
+	if hasArc(g, m2, u) {
+		t.Errorf("arc 10 (M2→U) not removed by GT3; report:\n%s", rep)
+	}
+	if !hasArc(g, m1b, u) {
+		t.Error("arc 11 (M1b→U) must remain")
+	}
+}
+
+// TestGT4MergesYandX1 verifies the paper's GT4 example: Y:=Y+M2 and X1:=X
+// merge into one ALU2 node executing in parallel.
+func TestGT4MergesYandX1(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	mustApply(t, g, LoopParallelism)
+	mustApply(t, g, RemoveDominated)
+	before := len(g.Nodes())
+	rep, err := MergeAssignments(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes()) != before-1 {
+		t.Fatalf("node count %d, want %d; report:\n%s", len(g.Nodes()), before-1, rep)
+	}
+	merged := node(t, g, "Y:=Y+M2; X1:=X")
+	if merged.FU != "ALU2" || merged.Kind != cdfg.KindOp {
+		t.Errorf("merged node FU=%s kind=%v", merged.FU, merged.Kind)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("validate after merge: %v\n%s", err, g)
+	}
+}
+
+func mustApply(t *testing.T, g *cdfg.Graph, f func(*cdfg.Graph) (*Report, error)) *Report {
+	t.Helper()
+	rep, err := f(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestGT5Figure5 verifies the headline channel reduction: 10 channels
+// before GT5 (Figure 5 left), 5 after, including two multi-way channels
+// (Figure 5 right).
+func TestGT5Figure5(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	mustApply(t, g, LoopParallelism)
+	mustApply(t, g, RemoveDominated)
+	if _, err := RelativeTiming(g, timing.DefaultModel(), 3); err != nil {
+		t.Fatal(err)
+	}
+	mustApply(t, g, MergeAssignments)
+
+	plan := BuildChannels(g)
+	if plan.Count() != 10 {
+		t.Fatalf("channels before GT5 = %d, want 10 (Figure 5 left)\n%s", plan.Count(), plan.Describe())
+	}
+	plan.Eliminate()
+	if plan.Count() != 5 {
+		t.Fatalf("channels after GT5 = %d, want 5 (Figure 5 right)\n%s", plan.Count(), plan.Describe())
+	}
+	if plan.MultiwayCount() != 2 {
+		t.Errorf("multi-way channels = %d, want 2\n%s", plan.MultiwayCount(), plan.Describe())
+	}
+}
+
+// TestPipelineFunctionalEquivalence runs the token simulator after the full
+// pipeline under many model-consistent delay assignments: results must
+// match the sequential reference, with no wire-safety or race violations.
+func TestPipelineFunctionalEquivalence(t *testing.T) {
+	p := diffeq.DefaultParams()
+	ref := diffeq.Reference(p)
+	for seed := int64(0); seed < 20; seed++ {
+		g := diffeq.Build(p)
+		if _, _, err := OptimizeGT(g, DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+		s := sim.NewTokenSim(g, sim.FromModel(timing.DefaultModel(), seed))
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Finished {
+			t.Fatalf("seed %d: did not finish", seed)
+		}
+		for _, r := range []string{"X", "Y", "U"} {
+			if math.Abs(res.Regs[r]-ref[r]) > 1e-9 {
+				t.Errorf("seed %d: %s = %v, want %v", seed, r, res.Regs[r], ref[r])
+			}
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("seed %d: violations: %v", seed, res.Violations)
+		}
+	}
+}
+
+// TestPipelineStagewiseEquivalence checks functional correctness after each
+// individual transform stage.
+func TestPipelineStagewiseEquivalence(t *testing.T) {
+	p := diffeq.DefaultParams()
+	ref := diffeq.Reference(p)
+	stages := []struct {
+		name  string
+		apply func(g *cdfg.Graph) error
+	}{
+		{"GT1", func(g *cdfg.Graph) error { _, err := LoopParallelism(g); return err }},
+		{"GT1+GT2", func(g *cdfg.Graph) error {
+			if _, err := LoopParallelism(g); err != nil {
+				return err
+			}
+			_, err := RemoveDominated(g)
+			return err
+		}},
+		{"GT1+GT2+GT4", func(g *cdfg.Graph) error {
+			if _, err := LoopParallelism(g); err != nil {
+				return err
+			}
+			if _, err := RemoveDominated(g); err != nil {
+				return err
+			}
+			_, err := MergeAssignments(g)
+			return err
+		}},
+	}
+	for _, st := range stages {
+		for seed := int64(0); seed < 8; seed++ {
+			g := diffeq.Build(p)
+			if err := st.apply(g); err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.NewTokenSim(g, sim.RandomDelays(seed, 1, 40, 0.1, 3)).Run()
+			if err != nil {
+				t.Fatalf("%s: %v", st.name, err)
+			}
+			for _, r := range []string{"X", "Y", "U"} {
+				if math.Abs(res.Regs[r]-ref[r]) > 1e-9 {
+					t.Errorf("%s seed %d: %s = %v, want %v", st.name, seed, r, res.Regs[r], ref[r])
+				}
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("%s seed %d: violations: %v", st.name, seed, res.Violations)
+			}
+		}
+	}
+}
+
+// TestGT1IncreasesParallelism: with slow multipliers, overlapped iterations
+// must strictly beat the fully synchronized schedule.
+func TestGT1IncreasesParallelism(t *testing.T) {
+	p := diffeq.DefaultParams()
+	delays := sim.PerFUDelays(map[string]float64{
+		"MUL1": 40, "MUL2": 40, "ALU1": 10, "ALU2": 10,
+	}, 2, 1)
+	base := diffeq.Build(p)
+	resBase, err := sim.NewTokenSim(base, delays).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := diffeq.Build(p)
+	mustApply(t, opt, LoopParallelism)
+	mustApply(t, opt, RemoveDominated)
+	resOpt, err := sim.NewTokenSim(opt, delays).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resOpt.FinishTime >= resBase.FinishTime {
+		t.Errorf("GT1 did not speed up: %v >= %v", resOpt.FinishTime, resBase.FinishTime)
+	}
+}
+
+func TestGT2Idempotent(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	mustApply(t, g, LoopParallelism)
+	mustApply(t, g, RemoveDominated)
+	rep := mustApply(t, g, RemoveDominated)
+	if rep.Changed() {
+		t.Errorf("second GT2 pass changed the graph:\n%s", rep)
+	}
+}
+
+func TestGT5MultiplexExample(t *testing.T) {
+	// The paper's Figure 7: two ALU1 nodes and two MUL1 nodes with four
+	// inter-unit arcs multiplex down to two channels.
+	p := cdfg.NewProgram("fig7", "ALU1", "MUL1")
+	p.Init("c", 1)
+	p.Loop("ALU1", "c")
+	p.Op("MUL1", "m", cdfg.OpMul, "u", "x") // M1 := U*X1
+	p.Op("ALU1", "a", cdfg.OpAdd, "y", "m") // A := Y+M1
+	p.Op("MUL1", "m", cdfg.OpMul, "a", "b") // M1 := A*B
+	p.Op("ALU1", "u", cdfg.OpSub, "u", "m") // U := U-M1
+	p.Op("ALU1", "c", cdfg.OpLT, "u", "k")
+	p.EndLoop()
+	g, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustApply(t, g, LoopParallelism)
+	mustApply(t, g, RemoveDominated)
+	plan := BuildChannels(g)
+	before := plan.Count()
+	plan.Eliminate()
+	if plan.Count() >= before {
+		t.Fatalf("GT5 did not reduce channels: %d → %d\n%s", before, plan.Count(), plan.Describe())
+	}
+	if plan.Count() != 2 {
+		t.Errorf("channels = %d, want 2 (one per direction)\n%s", plan.Count(), plan.Describe())
+	}
+}
+
+func TestPlanDescribe(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	plan := BuildChannels(g)
+	d := plan.Describe()
+	if !strings.Contains(d, "channels") || !strings.Contains(d, "ch0") {
+		t.Errorf("Describe output unexpected:\n%s", d)
+	}
+}
+
+func TestOptimizeGTSkipFlags(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	opt := DefaultOptions()
+	opt.SkipGT1, opt.SkipGT2, opt.SkipGT3, opt.SkipGT4, opt.SkipGT5 = true, true, true, true, true
+	plan, reports, err := OptimizeGT(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Errorf("reports = %d, want 0 with everything skipped", len(reports))
+	}
+	if plan.Count() != 15 {
+		t.Errorf("unoptimized channels = %d, want 15", plan.Count())
+	}
+}
+
+func TestRemovalSafeGuards(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	for _, a := range g.Arcs() {
+		if a.Group == cdfg.GroupRepeat && removalSafe(g, a) {
+			t.Error("repeat arc must never be removable")
+		}
+	}
+}
+
+// TestGT52ConcurrencyReduction reproduces the Figure 8 pattern: a direct
+// ALU1→ALU2 constraint is replaced by a chain through MUL1 (an existing
+// hub), eliminating the direct channel.
+func TestGT52ConcurrencyReduction(t *testing.T) {
+	p := cdfg.NewProgram("fig8", "ALU1", "MUL1", "ALU2")
+	p.Init("c", 1)
+	p.Loop("ALU2", "c")
+	p.Op("ALU1", "a", cdfg.OpAdd, "u", "v") // source node
+	p.Op("MUL1", "m", cdfg.OpMul, "a", "w") // hub: consumes a
+	p.Op("ALU2", "z", cdfg.OpAdd, "a", "m") // reads a (direct ALU1→ALU2 arc) and m
+	p.Op("ALU2", "c", cdfg.OpLT, "z", "k")
+	p.EndLoop()
+	g, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustApply(t, g, LoopParallelism)
+	mustApply(t, g, RemoveDominated)
+	plan := BuildChannels(g)
+	before := plan.Count()
+	direct := 0
+	for _, ch := range plan.Channels {
+		if ch.Sender == "ALU1" && ch.receiverKey() == "ALU2" {
+			direct++
+		}
+	}
+	if direct == 0 {
+		t.Skip("generator produced no direct ALU1→ALU2 channel (dominated)")
+	}
+	plan.Eliminate()
+	if plan.Count() >= before {
+		t.Errorf("GT5 did not reduce channels: %d → %d\n%s", before, plan.Count(), plan.Describe())
+	}
+	// The paper's outcome: the direct ALU1→ALU2 channel disappears.
+	for _, ch := range plan.Channels {
+		if ch.Sender == "ALU1" && ch.receiverKey() == "ALU2" {
+			t.Logf("direct channel survived (acceptable if the hub route was unsafe):\n%s", plan.Describe())
+		}
+	}
+}
+
+// TestGT53Symmetrization reproduces the Figure 9 pattern: channels
+// ALU1→{MUL1,MUL2} and ALU1→{MUL1} become symmetric by a safe added arc
+// and multiplex into one multi-way channel.
+func TestGT53Symmetrization(t *testing.T) {
+	p := cdfg.NewProgram("fig9", "ALU1", "MUL1", "MUL2")
+	p.Init("c", 1)
+	p.Loop("ALU1", "c")
+	p.Op("ALU1", "a", cdfg.OpAdd, "u", "v")
+	p.Op("MUL1", "m1", cdfg.OpMul, "a", "w") // receives a (set {1})
+	p.Op("MUL2", "m2", cdfg.OpMul, "a", "x") // receives a (same event, multi-way)
+	p.Op("ALU1", "b", cdfg.OpAdd, "m1", "m2")
+	p.Op("MUL1", "m3", cdfg.OpMul, "b", "w") // receives b (singleton set {3})
+	p.Op("ALU1", "c", cdfg.OpLT, "m3", "k")
+	p.EndLoop()
+	g, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustApply(t, g, LoopParallelism)
+	mustApply(t, g, RemoveDominated)
+	plan := BuildChannels(g)
+	before := plan.Count()
+	rep := plan.Eliminate()
+	if plan.Count() >= before {
+		t.Fatalf("GT5 did not reduce channels: %d → %d\n%s", before, plan.Count(), plan.Describe())
+	}
+	// Symmetrization should have created at least one multi-way channel
+	// from ALU1 and recorded the added arc.
+	if plan.MultiwayCount() == 0 {
+		t.Errorf("no multi-way channel formed:\n%s", plan.Describe())
+	}
+	added := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "symmetrize") {
+			added = true
+		}
+	}
+	if !added {
+		t.Logf("no symmetrization arc needed (multiplexing sufficed):\n%s", plan.Describe())
+	}
+}
+
+// The FIR-style wire discipline: two events per iteration from one unit to
+// one receiver multiplex onto one wire only when every event is consumed.
+func TestGT5TwoEventsPerIteration(t *testing.T) {
+	p := cdfg.NewProgram("twoev", "MUL", "ALU")
+	p.Init("c", 1)
+	p.Loop("ALU", "c")
+	p.Op("MUL", "p", cdfg.OpMul, "u", "v")
+	p.Op("ALU", "y", cdfg.OpAdd, "p", "w")
+	p.Op("MUL", "q", cdfg.OpMul, "u", "w")
+	p.Op("ALU", "y", cdfg.OpAdd, "y", "q")
+	p.Op("ALU", "c", cdfg.OpLT, "y", "k")
+	p.EndLoop()
+	g, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustApply(t, g, LoopParallelism)
+	mustApply(t, g, RemoveDominated)
+	plan := BuildChannels(g)
+	plan.Eliminate()
+	// The two MUL→ALU data arcs must end up on one multiplexed wire (both
+	// events are consumed by ALU sequentially).
+	for _, ch := range plan.Channels {
+		if ch.Sender == "MUL" && len(ch.Arcs) >= 2 {
+			return
+		}
+	}
+	t.Errorf("MUL→ALU events not multiplexed:\n%s", plan.Describe())
+}

@@ -1,0 +1,41 @@
+package validate
+
+import (
+	"testing"
+
+	"repro/internal/diffeq"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// The timing analysis must be sound: simulated completion times under
+// delays drawn from the model always fall inside the computed makespan
+// interval.
+func TestMakespanBoundsSimulation(t *testing.T) {
+	// Exactly 3 iterations so the K=3 unrolling matches the execution.
+	p := diffeq.Params{X0: 0, Y0: 1, U0: 0.5, DX: 0.34, A: 1}
+	if diffeq.Iterations(p) != 3 {
+		t.Fatalf("iterations = %d, want 3", diffeq.Iterations(p))
+	}
+	g := diffeq.Build(p)
+	model := timing.DefaultModel()
+	an, err := timing.Analyze(g, model, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := an.Makespan()
+	for seed := int64(0); seed < 20; seed++ {
+		res, err := sim.NewTokenSim(diffeq.Build(p), sim.FromModel(model, seed)).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Finished {
+			t.Fatalf("seed %d did not finish", seed)
+		}
+		const slack = 1e-6
+		if res.FinishTime < ms.Min-slack || res.FinishTime > ms.Max+slack {
+			t.Errorf("seed %d: finish %.2f outside analyzed makespan [%.2f, %.2f]",
+				seed, res.FinishTime, ms.Min, ms.Max)
+		}
+	}
+}

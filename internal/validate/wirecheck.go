@@ -1,0 +1,109 @@
+// Package validate cross-checks the transform layer against the simulation
+// layer: dynamic validation of properties the static analyses assume.
+package validate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cdfg"
+	"repro/internal/sim"
+	"repro/internal/transform"
+)
+
+// CheckChannelOrder validates a channel plan dynamically: under each of the
+// given random delay seeds, every multiplexed channel's events (productions
+// by distinct source nodes) must occur in a strict total order, and that
+// order must be identical across all seeds. This is the runtime correlate
+// of the static EventsTotallyOrdered analysis that GT5 uses — a shared
+// transition-signaling wire with a delay-dependent event order would
+// corrupt its receivers.
+func CheckChannelOrder(g *cdfg.Graph, plan *transform.Plan, seeds int) error {
+	var reference map[int][]cdfg.NodeID
+	for seed := 0; seed < seeds; seed++ {
+		ts := sim.NewTokenSim(g.Clone(), sim.RandomDelays(int64(seed), 1, 40, 0.1, 3))
+		ts.CollectTrace = true
+		res, err := ts.Run()
+		if err != nil {
+			return err
+		}
+		if !res.Finished {
+			return fmt.Errorf("sim: seed %d did not finish", seed)
+		}
+		orders, err := channelOrders(plan, res, seed)
+		if err != nil {
+			return err
+		}
+		if reference == nil {
+			reference = orders
+			continue
+		}
+		for chID, seq := range orders {
+			ref := reference[chID]
+			if len(ref) != len(seq) {
+				return fmt.Errorf("sim: channel %d: event count %d at seed %d vs %d at seed 0",
+					chID, len(seq), seed, len(ref))
+			}
+			for i := range seq {
+				if seq[i] != ref[i] {
+					return fmt.Errorf("sim: channel %d: event order diverges at position %d (seed %d: n%d, seed 0: n%d)",
+						chID, i, seed, seq[i], ref[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// channelOrders extracts, per channel, the sequence of source-node events
+// (arcs sharing a source fire together and count once).
+func channelOrders(plan *transform.Plan, res *sim.Result, seed int) (map[int][]cdfg.NodeID, error) {
+	arcChannel := map[cdfg.ArcID]*transform.Channel{}
+	for _, ch := range plan.Channels {
+		for _, a := range ch.Arcs {
+			arcChannel[a.ID] = ch
+		}
+	}
+	type ev struct {
+		t    float64
+		from cdfg.NodeID
+	}
+	perChannel := map[int][]ev{}
+	for _, f := range res.Trace {
+		ch, ok := arcChannel[f.Arc]
+		if !ok {
+			continue
+		}
+		evs := perChannel[ch.ID]
+		// Arcs sharing a source node produced in the same firing collapse
+		// into one wire event.
+		if len(evs) > 0 && evs[len(evs)-1].from == f.From && evs[len(evs)-1].t == f.Time {
+			continue
+		}
+		perChannel[ch.ID] = append(evs, ev{t: f.Time, from: f.From})
+	}
+	out := map[int][]cdfg.NodeID{}
+	for chID, evs := range perChannel {
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].t < evs[j].t })
+		// Strictness: ties between distinct sources are delay-dependent
+		// orders, which the wire cannot tolerate.
+		for i := 1; i < len(evs); i++ {
+			if evs[i].t == evs[i-1].t && evs[i].from != evs[i-1].from {
+				return nil, fmt.Errorf("sim: channel %d: simultaneous events from n%d and n%d (seed %d)",
+					chID, evs[i-1].from, evs[i].from, seed)
+			}
+		}
+		seq := make([]cdfg.NodeID, 0, len(evs))
+		for i, e := range evs {
+			if i > 0 && seq[len(seq)-1] == e.from {
+				// Consecutive events from one source are its successive
+				// firings; keep them (they are part of the order).
+				seq = append(seq, e.from)
+				continue
+			}
+			seq = append(seq, e.from)
+		}
+		out[chID] = seq
+	}
+	return out, nil
+}

@@ -1,0 +1,21 @@
+package validate
+
+import (
+	"testing"
+
+	"repro/internal/diffeq"
+	"repro/internal/transform"
+)
+
+// The channel plan's wires must carry a delay-independent total order of
+// events — validated dynamically against many random delay assignments.
+func TestChannelOrderDiffeq(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	plan, _, err := transform.OptimizeGT(g, transform.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckChannelOrder(g, plan, 8); err != nil {
+		t.Fatal(err)
+	}
+}
