@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cdfg"
 	"repro/internal/core"
@@ -384,6 +385,87 @@ func BenchmarkGateLevelSimulation(b *testing.B) {
 		events = res.Events
 	}
 	b.ReportMetric(float64(events), "events")
+}
+
+// --- Parallel synthesis engine: worker-pool fan-out ------------------------
+//
+// The flow is parallel at three levels (per-controller LT + synthesis,
+// per-output minimization, per-variant exploration); these benchmarks
+// measure the wall-clock effect of the internal/par worker pool and report
+// it as a `speedup` metric against the sequential (j=1) path. On a
+// single-core machine the speedup is ~1 by construction; the fan-out pays
+// off on multi-core.
+
+// pipelineOnce runs the full DIFFEQ pipeline (GT → extract → LT → gate
+// synthesis) under the given worker-pool bound.
+func pipelineOnce(b *testing.B, workers int) {
+	b.Helper()
+	opt := core.DefaultOptions()
+	opt.Parallelism = workers
+	s, err := core.Run(diffeq.Build(diffeq.DefaultParams()), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.SynthesizeLogic(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// seqBaseline measures a sequential per-run wall time once, for the
+// speedup metrics of the parallel benchmarks.
+func seqBaseline(b *testing.B, once *sync.Once, ns *float64, run func()) float64 {
+	b.Helper()
+	once.Do(func() {
+		const reps = 3
+		run() // warm-up
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			run()
+		}
+		*ns = float64(time.Since(start).Nanoseconds()) / reps
+	})
+	return *ns
+}
+
+var (
+	pipelineBaseOnce sync.Once
+	pipelineBaseNs   float64
+)
+
+func BenchmarkPipelineParallel(b *testing.B) {
+	base := seqBaseline(b, &pipelineBaseOnce, &pipelineBaseNs, func() { pipelineOnce(b, 1) })
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pipelineOnce(b, j)
+			}
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(base/perOp, "speedup")
+		})
+	}
+}
+
+var (
+	sweepBaseOnce sync.Once
+	sweepBaseNs   float64
+)
+
+func BenchmarkExploreSweepParallel(b *testing.B) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	variants := explore.AllVariants()
+	base := seqBaseline(b, &sweepBaseOnce, &sweepBaseNs, func() { explore.Sweep(g.Clone(), variants) })
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				scores := explore.SweepParallel(g.Clone(), variants, j)
+				n = len(explore.Pareto(scores))
+			}
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(base/perOp, "speedup")
+			b.ReportMetric(float64(n), "pareto-points")
+		})
+	}
 }
 
 // --- Delay-ratio series: loop-parallelism speedup vs multiplier latency ---

@@ -14,6 +14,10 @@
 //	asyncsynth explore [bench]     design-space exploration sweep
 //	asyncsynth dot cdfg|afsm [bench] [-level L]   Graphviz output
 //
+// The global -j N flag bounds the worker pool used for per-controller
+// synthesis, per-output minimization and exploration sweeps (0 = all
+// CPUs, the default; 1 = sequential).
+//
 // Benchmarks: diffeq (default), gcd, fir.
 package main
 
@@ -32,13 +36,18 @@ import (
 	"repro/internal/transform"
 )
 
+// jWorkers is the -j parallelism knob: 0 = all CPUs, 1 = sequential.
+var jWorkers = flag.Int("j", 0, "parallel workers for synthesis and exploration (0 = all CPUs, 1 = sequential)")
+
 func main() {
-	if len(os.Args) < 2 {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd := os.Args[1]
-	args := os.Args[2:]
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
 	var err error
 	switch cmd {
 	case "report":
@@ -72,7 +81,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: asyncsynth <command> [args]
+	fmt.Fprintln(os.Stderr, `usage: asyncsynth [-j N] <command> [args]
+
+flags:
+  -j N                      worker-pool size for per-controller synthesis,
+                            per-output minimization and exploration sweeps
+                            (0 = all CPUs, default; 1 = sequential)
 
 commands:
   report fig5|fig12|fig13   regenerate a paper table/figure (DIFFEQ)
@@ -87,6 +101,13 @@ commands:
   dot cdfg|afsm|channels [bench]  Graphviz output (after full optimization)
 
 benchmarks: diffeq (default), gcd, fir`)
+}
+
+// defaultOpts is core.DefaultOptions with the -j worker-pool bound applied.
+func defaultOpts() core.Options {
+	opt := core.DefaultOptions()
+	opt.Parallelism = *jWorkers
+	return opt
 }
 
 func buildBench(name string) (*cdfg.Graph, []string, map[string]float64, error) {
@@ -136,7 +157,7 @@ func report(args []string) error {
 	case "fig12":
 		var rows []core.Row
 		for _, level := range []core.Level{core.Unoptimized, core.OptimizedGT, core.OptimizedGTLT} {
-			opt := core.DefaultOptions()
+			opt := defaultOpts()
 			opt.Level = level
 			s, err := core.Run(diffeq.Build(diffeq.DefaultParams()), opt)
 			if err != nil {
@@ -154,7 +175,7 @@ func report(args []string) error {
 		fmt.Print(core.FormatFig12(diffeq.FUs, paper))
 		return nil
 	case "fig13":
-		s, err := core.Run(diffeq.Build(diffeq.DefaultParams()), core.DefaultOptions())
+		s, err := core.Run(diffeq.Build(diffeq.DefaultParams()), defaultOpts())
 		if err != nil {
 			return err
 		}
@@ -207,7 +228,7 @@ func doExtract(args []string) error {
 	if err != nil {
 		return err
 	}
-	s, err := core.Run(g, core.DefaultOptions())
+	s, err := core.Run(g, defaultOpts())
 	if err != nil {
 		return err
 	}
@@ -233,7 +254,7 @@ func simulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	opt := core.DefaultOptions()
+	opt := defaultOpts()
 	switch *level {
 	case "unopt":
 		opt.Level = core.Unoptimized
@@ -268,7 +289,7 @@ func doExplore(args []string) error {
 	if err != nil {
 		return err
 	}
-	scores := explore.Sweep(g, explore.AllVariants())
+	scores := explore.SweepParallel(g, explore.AllVariants(), *jWorkers)
 	fmt.Print(explore.Format(scores))
 	if best, ok := explore.Best(scores, func(s explore.Score) float64 { return s.Makespan }); ok {
 		fmt.Printf("\nfastest variant: %s (makespan %.1f)\n", best.Variant.Name, best.Makespan)
@@ -285,7 +306,7 @@ func doSynth(args []string) error {
 	if err != nil {
 		return err
 	}
-	s, err := core.Run(g, core.DefaultOptions())
+	s, err := core.Run(g, defaultOpts())
 	if err != nil {
 		return err
 	}
@@ -313,7 +334,7 @@ func gates(args []string) error {
 	if err != nil {
 		return err
 	}
-	s, err := core.Run(g, core.DefaultOptions())
+	s, err := core.Run(g, defaultOpts())
 	if err != nil {
 		return err
 	}
@@ -344,7 +365,7 @@ func verilog(args []string) error {
 	if err != nil {
 		return err
 	}
-	s, err := core.Run(g, core.DefaultOptions())
+	s, err := core.Run(g, defaultOpts())
 	if err != nil {
 		return err
 	}
@@ -379,7 +400,7 @@ func dot(args []string) error {
 		fmt.Print(g.DOT())
 		return nil
 	case "afsm":
-		s, err := core.Run(g, core.DefaultOptions())
+		s, err := core.Run(g, defaultOpts())
 		if err != nil {
 			return err
 		}
@@ -388,7 +409,7 @@ func dot(args []string) error {
 		}
 		return nil
 	case "channels":
-		s, err := core.Run(g, core.DefaultOptions())
+		s, err := core.Run(g, defaultOpts())
 		if err != nil {
 			return err
 		}

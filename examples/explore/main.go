@@ -14,7 +14,7 @@ import (
 
 func main() {
 	g := diffeq.Build(diffeq.DefaultParams())
-	scores := explore.Sweep(g, explore.AllVariants())
+	scores := explore.SweepParallel(g, explore.AllVariants(), 0) // 0 = all CPUs; identical to Sweep
 	fmt.Println("DIFFEQ design-space sweep (one row per transform subset):")
 	fmt.Print(explore.Format(scores))
 

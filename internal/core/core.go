@@ -20,6 +20,7 @@ import (
 	"repro/internal/cdfg"
 	"repro/internal/extract"
 	"repro/internal/local"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/synth"
 	"repro/internal/timing"
@@ -58,6 +59,11 @@ type Options struct {
 	Timing timing.Model
 	// Transform forwards fine-grained transform toggles (ablations).
 	Transform transform.Options
+	// Parallelism bounds the worker pool used to fan out per-controller
+	// local optimization, gate-level synthesis and per-output hazard-free
+	// minimization: 0 selects GOMAXPROCS, 1 forces the sequential path
+	// (useful for debugging). Results are identical at every setting.
+	Parallelism int
 }
 
 // DefaultOptions runs the full pipeline.
@@ -76,6 +82,21 @@ type Synthesis struct {
 	LTReports map[string]*local.Report
 	Wires     map[cdfg.ArcID]extract.WireEvent
 	Primers   map[string]bm.Edge
+	// Parallelism is the worker-pool bound inherited from Options; it
+	// governs SynthesizeLogic's per-controller fan-out.
+	Parallelism int
+}
+
+// FUs returns the controller (functional-unit) names in sorted order —
+// the canonical iteration order over Machines, so reports, errors and
+// fan-out work lists are deterministic run to run.
+func (s *Synthesis) FUs() []string {
+	fus := make([]string, 0, len(s.Machines))
+	for fu := range s.Machines {
+		fus = append(fus, fu)
+	}
+	sort.Strings(fus)
+	return fus
 }
 
 // Run executes the flow on graph g (which is mutated: clone first to keep
@@ -85,10 +106,11 @@ func Run(g *cdfg.Graph, opt Options) (*Synthesis, error) {
 		opt.Timing = timing.DefaultModel()
 	}
 	s := &Synthesis{
-		Level:     opt.Level,
-		Graph:     g,
-		Shared:    map[string]map[string][]string{},
-		LTReports: map[string]*local.Report{},
+		Level:       opt.Level,
+		Graph:       g,
+		Shared:      map[string]map[string][]string{},
+		LTReports:   map[string]*local.Report{},
+		Parallelism: opt.Parallelism,
 	}
 	exOpt := extract.Options{}
 	if opt.Level == Unoptimized {
@@ -120,13 +142,24 @@ func Run(g *cdfg.Graph, opt Options) (*Synthesis, error) {
 	s.Wires = res.Wires
 	s.Primers = res.Primers
 	if opt.Level == OptimizedGTLT {
-		for fu, m := range s.Machines {
-			rep, err := local.Optimize(m)
+		// Fan out LT1–LT5 across controllers: each machine is optimized in
+		// place and touches no shared state, so per-FU work is independent.
+		// Reports land in index-addressed slots over the sorted FU list,
+		// keeping results and error attribution deterministic.
+		fus := s.FUs()
+		reps, err := par.Map(opt.Parallelism, fus, func(_ int, fu string) (*local.Report, error) {
+			rep, err := local.Optimize(s.Machines[fu])
 			if err != nil {
 				return nil, fmt.Errorf("core: local transforms on %s: %w", fu, err)
 			}
-			s.LTReports[fu] = rep
-			s.Shared[fu] = rep.SharedWires
+			return rep, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, fu := range fus {
+			s.LTReports[fu] = reps[i]
+			s.Shared[fu] = reps[i].SharedWires
 		}
 	}
 	return s, nil
@@ -141,21 +174,32 @@ func (s *Synthesis) MultiwayChannels() int { return s.Plan.MultiwayCount() }
 // StateCounts returns per-controller (states, transitions).
 func (s *Synthesis) StateCounts() map[string][2]int {
 	out := map[string][2]int{}
-	for fu, m := range s.Machines {
+	for _, fu := range s.FUs() {
+		m := s.Machines[fu]
 		out[fu] = [2]int{m.NumStates(), m.NumTransitions()}
 	}
 	return out
 }
 
-// SynthesizeLogic runs gate-level synthesis on every controller.
+// SynthesizeLogic runs gate-level synthesis on every controller,
+// fanning the independent per-controller problems out across the
+// Parallelism-bounded worker pool (each synthesis in turn parallelizes
+// its per-output minimizations on the same bound).
 func (s *Synthesis) SynthesizeLogic() (map[string]*synth.Result, error) {
-	out := map[string]*synth.Result{}
-	for fu, m := range s.Machines {
-		r, err := synth.Synthesize(m)
+	fus := s.FUs()
+	results, err := par.Map(s.Parallelism, fus, func(_ int, fu string) (*synth.Result, error) {
+		r, err := synth.SynthesizeParallel(s.Machines[fu], s.Parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("core: synthesis of %s: %w", fu, err)
 		}
-		out[fu] = r
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*synth.Result{}
+	for i, fu := range fus {
+		out[fu] = results[i]
 	}
 	return out, nil
 }
@@ -177,7 +221,8 @@ func (s *Synthesis) Simulate(seed int64) (*sim.MachineResult, error) {
 // as the controllers — the gate-level closure of the whole flow.
 func (s *Synthesis) GateSimulate(results map[string]*synth.Result, seed int64) (*sim.LogicResult, error) {
 	evs := map[string]*synth.Evaluator{}
-	for fu, m := range s.Machines {
+	for _, fu := range s.FUs() {
+		m := s.Machines[fu]
 		r, ok := results[fu]
 		if !ok {
 			return nil, fmt.Errorf("core: no synthesis result for %s", fu)
@@ -232,7 +277,8 @@ type Row struct {
 func (s *Synthesis) Fig12Row() Row {
 	r := Row{Name: s.Level.String(), Channels: s.Channels(),
 		States: map[string]int{}, Transitions: map[string]int{}}
-	for fu, m := range s.Machines {
+	for _, fu := range s.FUs() {
+		m := s.Machines[fu]
 		r.States[fu] = m.NumStates()
 		r.Transitions[fu] = m.NumTransitions()
 	}

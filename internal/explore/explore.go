@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cdfg"
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/timing"
 	"repro/internal/transform"
@@ -55,8 +56,13 @@ type Score struct {
 
 // Evaluate runs one variant on a fresh clone of the graph.
 func Evaluate(g *cdfg.Graph, v Variant) Score {
+	return evaluateOn(g.Clone(), v, 1)
+}
+
+// evaluateOn scores one variant on a private working graph (which it
+// mutates), running the flow's internal fan-out on `workers`.
+func evaluateOn(work *cdfg.Graph, v Variant, workers int) Score {
 	sc := Score{Variant: v}
-	work := g.Clone()
 	opt := core.Options{
 		Level:  core.OptimizedGT,
 		Timing: timing.DefaultModel(),
@@ -67,6 +73,7 @@ func Evaluate(g *cdfg.Graph, v Variant) Score {
 			SkipGT4: v.SkipGT4, SkipGT5: v.SkipGT5,
 		},
 	}
+	opt.Parallelism = workers
 	if v.LT {
 		opt.Level = core.OptimizedGTLT
 	}
@@ -99,6 +106,23 @@ func Sweep(g *cdfg.Graph, variants []Variant) []Score {
 	for _, v := range variants {
 		out = append(out, Evaluate(g, v))
 	}
+	return out
+}
+
+// SweepParallel evaluates every variant concurrently on up to `workers`
+// goroutines (0 = GOMAXPROCS, 1 = equivalent to Sweep). The graph is
+// cloned once per variant up front — on the calling goroutine, so the
+// source graph is never touched concurrently — and each variant runs the
+// whole flow on its private clone. Scores land in index-addressed slots,
+// so the result slice is identical to Sweep's, element for element.
+func SweepParallel(g *cdfg.Graph, variants []Variant, workers int) []Score {
+	clones := make([]*cdfg.Graph, len(variants))
+	for i := range variants {
+		clones[i] = g.Clone()
+	}
+	out, _ := par.Map(workers, variants, func(i int, v Variant) (Score, error) {
+		return evaluateOn(clones[i], v, workers), nil
+	})
 	return out
 }
 

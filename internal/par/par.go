@@ -1,0 +1,120 @@
+// Package par is the concurrency substrate of the synthesis engine: a
+// bounded worker pool with deterministic fan-out helpers. The paper's flow
+// is embarrassingly parallel at three levels — one AFSM is extracted and
+// locally optimized per functional unit, hazard-free minimization runs per
+// output signal, and design-space exploration evaluates independent
+// variants — and every one of those loops fans out through this package.
+//
+// The determinism contract: Map and ForEach deliver results into
+// index-addressed slots, never by append from goroutines, so the caller
+// observes exactly the ordering of the sequential loop regardless of
+// worker interleaving. Errors are aggregated and the lowest-index error is
+// returned first, matching what a sequential loop that stops at the first
+// failure would have reported. Panics in workers are recovered and
+// surfaced as *PanicError values instead of crashing sibling goroutines.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a parallelism knob to a concrete worker count: 0 (or
+// negative) selects GOMAXPROCS, anything else is used as given. A result
+// of 1 means the sequential fallback path.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// PanicError wraps a panic recovered in a worker goroutine.
+type PanicError struct {
+	Value interface{} // the recovered panic value
+	Stack []byte      // stack trace captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Map applies f to every element of items on up to `workers` goroutines
+// (0 = GOMAXPROCS, 1 = run inline with no goroutines) and returns the
+// results in input order. f receives the element index and value. If any
+// invocation fails, Map still runs every remaining invocation (results
+// are index-addressed, not short-circuited) and returns the error with
+// the lowest index — the same error a sequential loop returns first.
+func Map[T, R any](workers int, items []T, f func(int, T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	errs := make([]error, len(items))
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = &PanicError{Value: r, Stack: stack()}
+			}
+		}()
+		out[i], errs[i] = f(i, items[i])
+	}
+	workers = Workers(workers)
+	if workers == 1 || len(items) <= 1 {
+		for i := range items {
+			run(i)
+			if errs[i] != nil {
+				return out, errs[i] // sequential path short-circuits like a plain loop
+			}
+		}
+		return out, nil
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	var (
+		wg   sync.WaitGroup
+		next int
+		mu   sync.Mutex
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(out) {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, firstError(errs)
+}
+
+// ForEach runs f(i) for i in [0, n) on up to `workers` goroutines with the
+// same determinism and error contract as Map.
+func ForEach(workers, n int, f func(int) error) error {
+	_, err := Map(workers, make([]struct{}, n), func(i int, _ struct{}) (struct{}, error) {
+		return struct{}{}, f(i)
+	})
+	return err
+}
+
+// firstError returns the lowest-index non-nil error.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func stack() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
+}

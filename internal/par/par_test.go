@@ -1,0 +1,133 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestMapOrderPreserved(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{0, 1, 2, 8, 200} {
+		out, err := Map(workers, items, func(i, v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, items, func(i, v int) (int, error) {
+			if v%2 == 1 {
+				return 0, fmt.Errorf("item %d failed", v)
+			}
+			return v, nil
+		})
+		if err == nil || err.Error() != "item 1 failed" {
+			t.Errorf("workers=%d: err = %v, want lowest-index error (item 1)", workers, err)
+		}
+	}
+}
+
+func TestMapPanicRecovered(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, []int{0, 1, 2}, func(i, v int) (int, error) {
+			if v == 1 {
+				panic("boom")
+			}
+			return v, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "boom" || len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: PanicError = %q stack=%d bytes", workers, pe.Value, len(pe.Stack))
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	out, err := Map(4, nil, func(i, v int) (int, error) { return v, nil })
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty: out=%v err=%v", out, err)
+	}
+	out, err = Map(4, []int{9}, func(i, v int) (int, error) { return v + 1, nil })
+	if err != nil || len(out) != 1 || out[0] != 10 {
+		t.Errorf("single: out=%v err=%v", out, err)
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak atomic.Int32
+	_, err := Map(workers, make([]int, 64), func(i, v int) (int, error) {
+		n := active.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		runtime.Gosched()
+		active.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds worker bound %d", p, workers)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	const n = 50
+	hit := make([]atomic.Bool, n)
+	if err := ForEach(4, n, func(i int) error {
+		hit[i].Store(true)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hit {
+		if !hit[i].Load() {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+	err := ForEach(4, n, func(i int) error {
+		if i >= 10 {
+			return fmt.Errorf("fail %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail 10" {
+		t.Errorf("ForEach err = %v, want lowest-index error (fail 10)", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/bm"
 	"repro/internal/hfmin"
 	"repro/internal/logic"
+	"repro/internal/par"
 )
 
 // FuncResult is the minimized implementation of one signal.
@@ -21,6 +22,9 @@ type FuncResult struct {
 	// instead (real tools repair this by inserting extra state variables,
 	// as 3D does; see DESIGN.md).
 	HazardFree bool
+	// exact carries the per-function covering exactness to the Result
+	// aggregation.
+	exact bool
 }
 
 // Result is the gate-level synthesis outcome for one controller.
@@ -45,7 +49,19 @@ type Result struct {
 // Synthesize produces two-level hazard-free logic for every output signal
 // and state bit of the machine, in the single-output style of the 3D tool,
 // and reports product/literal totals (the paper's Figure 13 metrics).
+// It runs the per-output minimizations sequentially; SynthesizeParallel
+// fans them out.
 func Synthesize(m *bm.Machine) (*Result, error) {
+	return SynthesizeParallel(m, 1)
+}
+
+// SynthesizeParallel is Synthesize with the independent per-output (and
+// per-state-bit) hazard-free minimizations fanned out across a bounded
+// worker pool (workers: 0 = GOMAXPROCS, 1 = sequential). Each function is
+// minimized against the same immutable concretized machine and encoding,
+// and results are collected by function index, so the outcome is
+// bit-identical to the sequential path.
+func SynthesizeParallel(m *bm.Machine, workers int) (*Result, error) {
 	c, err := Concretize(m)
 	if err != nil {
 		return nil, err
@@ -80,7 +96,7 @@ func Synthesize(m *bm.Machine) (*Result, error) {
 		}
 		if a.oneHot {
 			enc := oneHotEncoding(reach)
-			res, err := synthesizeWith(c, enc, len(reach), true, a.strict, a.feedback)
+			res, err := synthesizeWith(c, enc, len(reach), true, a.strict, a.feedback, workers)
 			if err == nil {
 				res.Controller = m.Name
 				return res, nil
@@ -93,7 +109,7 @@ func Synthesize(m *bm.Machine) (*Result, error) {
 			if enc == nil {
 				enc = sequentialEncoding(c, reach, bits)
 			}
-			res, err := synthesizeWith(c, enc, bits, false, a.strict, a.feedback)
+			res, err := synthesizeWith(c, enc, bits, false, a.strict, a.feedback, workers)
 			if err == nil {
 				res.Controller = m.Name
 				return res, nil
@@ -146,8 +162,10 @@ func oneHotEncoding(reach []int) map[int]uint64 {
 // synthesizeWith builds and minimizes every function under an encoding.
 // In strict mode a hazard-infeasible function fails the whole attempt
 // rather than falling back to a (glitchy) plain cover. With feedback, the
-// outputs are fed back as additional state variables.
-func synthesizeWith(c *Concrete, enc map[int]uint64, bits int, oneHot, strict, feedback bool) (*Result, error) {
+// outputs are fed back as additional state variables. The per-function
+// minimizations are independent (they only read the shared concretized
+// machine and encoding) and fan out across `workers` goroutines.
+func synthesizeWith(c *Concrete, enc map[int]uint64, bits int, oneHot, strict, feedback bool, workers int) (*Result, error) {
 	vars, varIdx := variableOrder(c, bits, feedback)
 	n := len(vars)
 	if n > logic.MaxVars {
@@ -170,7 +188,7 @@ func synthesizeWith(c *Concrete, enc map[int]uint64, bits int, oneHot, strict, f
 		fns = append(fns, fn{name: fmt.Sprintf("Y%d", b), ybit: b})
 	}
 
-	for _, f := range fns {
+	minimized, err := par.Map(workers, fns, func(_ int, f fn) (FuncResult, error) {
 		spec := hfmin.Spec{N: n}
 		for _, t := range c.Trans {
 			from := c.States[t.From]
@@ -232,7 +250,7 @@ func synthesizeWith(c *Concrete, enc map[int]uint64, bits int, oneHot, strict, f
 		hf := true
 		r, err := hfmin.Minimize(spec)
 		if errors.Is(err, hfmin.ErrInfeasible) && strict {
-			return nil, fmt.Errorf("function %s: %w", f.name, err)
+			return FuncResult{}, fmt.Errorf("function %s: %w", f.name, err)
 		}
 		if errors.Is(err, hfmin.ErrInfeasible) {
 			// No hazard-free cover exists under this encoding (real tools
@@ -242,19 +260,26 @@ func synthesizeWith(c *Concrete, enc map[int]uint64, bits int, oneHot, strict, f
 			r, err = hfmin.MinimizePlain(spec)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("function %s: %w", f.name, err)
+			return FuncResult{}, fmt.Errorf("function %s: %w", f.name, err)
 		}
-		if !r.Exact {
+		return FuncResult{
+			Name: f.name, Products: r.Products(), Literals: r.Literals(),
+			Cover: r.Cover, HazardFree: hf, exact: r.Exact,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, fr := range minimized {
+		if !fr.exact {
 			res.Exact = false
 		}
-		if !hf {
+		if !fr.HazardFree {
 			res.NonHazardFree++
 		}
-		res.Functions = append(res.Functions, FuncResult{
-			Name: f.name, Products: r.Products(), Literals: r.Literals(), Cover: r.Cover, HazardFree: hf,
-		})
-		res.Products += r.Products()
-		res.Literals += r.Literals()
+		res.Functions = append(res.Functions, fr)
+		res.Products += fr.Products
+		res.Literals += fr.Literals
 	}
 	return res, nil
 }
