@@ -18,12 +18,24 @@
 // synthesis, per-output minimization and exploration sweeps (0 = all
 // CPUs, the default; 1 = sequential).
 //
+// Observability flags (all global, before the subcommand):
+//
+//	-trace out.jsonl   stream structured span events (one JSON object per
+//	                   line) covering every pipeline stage to the file
+//	-metrics           print the per-stage timing/counter table after the
+//	                   command completes
+//	-pprof addr        serve net/http/pprof on addr (e.g. localhost:6060)
+//	                   for CPU/heap/goroutine profiling while running
+//
 // Benchmarks: diffeq (default), gcd, fir.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers for -pprof
 	"os"
 
 	"repro/internal/cdfg"
@@ -32,23 +44,40 @@ import (
 	"repro/internal/explore"
 	"repro/internal/fir"
 	"repro/internal/gcd"
+	"repro/internal/obs"
 	"repro/internal/synth"
 	"repro/internal/transform"
 )
 
-// jWorkers is the -j parallelism knob: 0 = all CPUs, 1 = sequential.
-var jWorkers = flag.Int("j", 0, "parallel workers for synthesis and exploration (0 = all CPUs, 1 = sequential)")
+// Global flags; all must precede the subcommand.
+var (
+	// jWorkers is the -j parallelism knob: 0 = all CPUs, 1 = sequential.
+	jWorkers    = flag.Int("j", 0, "parallel workers for synthesis and exploration (0 = all CPUs, 1 = sequential)")
+	traceOut    = flag.String("trace", "", "write structured span events (JSONL) to this file")
+	showMetrics = flag.Bool("metrics", false, "print the per-stage metrics table after the command")
+	pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+)
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run executes one CLI command and returns the process exit code; it is
+// separate from main so the observability teardown (flush the trace file,
+// print the metrics table) runs via defer even when the command fails.
+func run() int {
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
+	teardown, err := setupObs()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asyncsynth:", err)
+		return 1
+	}
+	defer teardown()
 	cmd := flag.Arg(0)
 	args := flag.Args()[1:]
-	var err error
 	switch cmd {
 	case "report":
 		err = report(args)
@@ -72,12 +101,58 @@ func main() {
 		err = dot(args)
 	default:
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "asyncsynth:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// setupObs wires the -trace/-metrics/-pprof flags into the global obs
+// layer and returns the teardown to run after the command: it closes the
+// trace sink and prints the metrics table (also on command failure, so a
+// failed run still yields its partial profile).
+func setupObs() (func(), error) {
+	var cleanups []func()
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return nil, fmt.Errorf("-pprof: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, nil) //nolint:errcheck // best-effort debug listener
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return nil, fmt.Errorf("-trace: %w", err)
+		}
+		tr := obs.New(1 << 16)
+		tr.SetSink(f)
+		tr.Enable()
+		obs.SetTracer(tr)
+		cleanups = append(cleanups, func() {
+			if err := tr.SinkErr(); err != nil {
+				fmt.Fprintln(os.Stderr, "asyncsynth: trace sink:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "asyncsynth: trace close:", err)
+			}
+		})
+	}
+	if *showMetrics {
+		obs.SetMetrics(obs.NewMetrics())
+		cleanups = append(cleanups, func() {
+			fmt.Print(obs.Gather().Table())
+		})
+	}
+	return func() {
+		for _, f := range cleanups {
+			f()
+		}
+	}, nil
 }
 
 func usage() {
@@ -87,6 +162,12 @@ flags:
   -j N                      worker-pool size for per-controller synthesis,
                             per-output minimization and exploration sweeps
                             (0 = all CPUs, default; 1 = sequential)
+  -trace out.jsonl          stream structured span events (JSONL) for every
+                            pipeline stage to the file
+  -metrics                  print the per-stage timing/counter table after
+                            the command
+  -pprof addr               serve net/http/pprof on addr while running
+                            (e.g. localhost:6060)
 
 commands:
   report fig5|fig12|fig13   regenerate a paper table/figure (DIFFEQ)

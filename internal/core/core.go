@@ -20,6 +20,7 @@ import (
 	"repro/internal/cdfg"
 	"repro/internal/extract"
 	"repro/internal/local"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/synth"
@@ -100,8 +101,13 @@ func (s *Synthesis) FUs() []string {
 }
 
 // Run executes the flow on graph g (which is mutated: clone first to keep
-// the original).
-func Run(g *cdfg.Graph, opt Options) (*Synthesis, error) {
+// the original). The whole run is bracketed in an obs span ("run", unit =
+// level) with per-phase child spans, so `asyncsynth -metrics`/-trace see
+// the complete cascade: GT1–GT5 (inside transform.OptimizeGT), extraction,
+// and the per-controller LT fan-out.
+func Run(g *cdfg.Graph, opt Options) (_ *Synthesis, err error) {
+	sp := obs.Start("run", opt.Level.String())
+	defer func() { sp.EndErr(err) }()
 	if opt.Timing.DefaultOp.Max == 0 && len(opt.Timing.FUOp) == 0 {
 		opt.Timing = timing.DefaultModel()
 	}
@@ -134,20 +140,27 @@ func Run(g *cdfg.Graph, opt Options) (*Synthesis, error) {
 		s.Plan = plan
 		s.GTReports = reports
 	}
+	exSp := obs.Start("extract", "")
 	res, err := extract.Extract(g, s.Plan, exOpt)
+	exSp.EndErr(err)
 	if err != nil {
 		return nil, fmt.Errorf("core: extraction: %w", err)
 	}
 	s.Machines = res.Machines
 	s.Wires = res.Wires
 	s.Primers = res.Primers
+	obs.Add("extract/machines", int64(len(res.Machines)))
+	for fu, m := range res.Machines {
+		obs.Set("extract/"+fu+"/states", int64(m.NumStates()))
+		obs.Set("extract/"+fu+"/inputs", int64(len(m.Inputs)))
+	}
 	if opt.Level == OptimizedGTLT {
 		// Fan out LT1–LT5 across controllers: each machine is optimized in
 		// place and touches no shared state, so per-FU work is independent.
 		// Reports land in index-addressed slots over the sorted FU list,
 		// keeping results and error attribution deterministic.
 		fus := s.FUs()
-		reps, err := par.Map(opt.Parallelism, fus, func(_ int, fu string) (*local.Report, error) {
+		reps, err := par.NamedMap("lt", opt.Parallelism, fus, func(_ int, fu string) (*local.Report, error) {
 			rep, err := local.Optimize(s.Machines[fu])
 			if err != nil {
 				return nil, fmt.Errorf("core: local transforms on %s: %w", fu, err)
@@ -187,7 +200,7 @@ func (s *Synthesis) StateCounts() map[string][2]int {
 // its per-output minimizations on the same bound).
 func (s *Synthesis) SynthesizeLogic() (map[string]*synth.Result, error) {
 	fus := s.FUs()
-	results, err := par.Map(s.Parallelism, fus, func(_ int, fu string) (*synth.Result, error) {
+	results, err := par.NamedMap("synth", s.Parallelism, fus, func(_ int, fu string) (*synth.Result, error) {
 		r, err := synth.SynthesizeParallel(s.Machines[fu], s.Parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("core: synthesis of %s: %w", fu, err)

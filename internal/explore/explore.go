@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cdfg"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/timing"
@@ -60,8 +61,13 @@ func Evaluate(g *cdfg.Graph, v Variant) Score {
 }
 
 // evaluateOn scores one variant on a private working graph (which it
-// mutates), running the flow's internal fan-out on `workers`.
+// mutates), running the flow's internal fan-out on `workers`. Each
+// evaluation is one obs span (stage "explore", unit = variant name), so a
+// traced sweep shows every variant's whole-flow cost side by side.
 func evaluateOn(work *cdfg.Graph, v Variant, workers int) Score {
+	sp := obs.Start("explore", v.Name)
+	defer sp.End()
+	obs.Add("explore/variants", 1)
 	sc := Score{Variant: v}
 	opt := core.Options{
 		Level:  core.OptimizedGT,
@@ -80,6 +86,7 @@ func evaluateOn(work *cdfg.Graph, v Variant, workers int) Score {
 	s, err := core.Run(work, opt)
 	if err != nil {
 		sc.RunError = err.Error()
+		obs.Add("explore/errors", 1)
 		return sc
 	}
 	sc.Channels = s.Channels()
@@ -120,7 +127,7 @@ func SweepParallel(g *cdfg.Graph, variants []Variant, workers int) []Score {
 	for i := range variants {
 		clones[i] = g.Clone()
 	}
-	out, _ := par.Map(workers, variants, func(i int, v Variant) (Score, error) {
+	out, _ := par.NamedMap("explore", workers, variants, func(i int, v Variant) (Score, error) {
 		return evaluateOn(clones[i], v, workers), nil
 	})
 	return out

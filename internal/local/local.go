@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/bm"
+	"repro/internal/obs"
 )
 
 // Report records the local transformations applied to one machine.
@@ -37,16 +38,40 @@ func (r *Report) assume(format string, args ...interface{}) {
 // LT4 (acknowledgment removal), LT2 (reset move-down is inherent in the
 // merged reset burst), LT1 (move done events up to the latch), merge of
 // trigger-less transitions, LT3 (mux pre-selection), LT5 (signal sharing).
+//
+// Each LT runs under an obs span (stage "lt1".."lt5", unit = machine
+// name; the triggerless merge carries the reset move-down, so it reports
+// as "lt2"), and the per-machine state/transition/input sizes before and
+// after the whole pipeline land in lt/<machine>/... gauges — the raw
+// material of the paper's Figure 12 rows.
 func Optimize(m *bm.Machine) (*Report, error) {
+	all := obs.Start("lt", m.Name)
+	obs.Set("lt/"+m.Name+"/states_before", int64(m.NumStates()))
+	obs.Set("lt/"+m.Name+"/transitions_before", int64(m.NumTransitions()))
+	obs.Set("lt/"+m.Name+"/inputs_before", int64(len(m.Inputs)))
 	rep := &Report{Machine: m.Name, SharedWires: map[string][]string{}}
-	RemoveAcks(m, rep)
-	MergeTriggerless(m, rep)
-	MoveUpDones(m, rep)
-	MergeTriggerless(m, rep)
-	Preselect(m, rep)
-	ShareSignals(m, rep)
-	if err := m.Validate(); err != nil {
-		return rep, fmt.Errorf("local: machine %s invalid after optimization: %w", m.Name, err)
+	stage := func(name string, f func()) {
+		sp := obs.Start(name, m.Name)
+		f()
+		sp.End()
+	}
+	stage("lt4", func() { RemoveAcks(m, rep) })
+	stage("lt2", func() { MergeTriggerless(m, rep) })
+	stage("lt1", func() { MoveUpDones(m, rep); MergeTriggerless(m, rep) })
+	stage("lt3", func() { Preselect(m, rep) })
+	stage("lt5", func() { ShareSignals(m, rep) })
+	err := m.Validate()
+	if err != nil {
+		err = fmt.Errorf("local: machine %s invalid after optimization: %w", m.Name, err)
+	}
+	obs.Set("lt/"+m.Name+"/states_after", int64(m.NumStates()))
+	obs.Set("lt/"+m.Name+"/transitions_after", int64(m.NumTransitions()))
+	obs.Set("lt/"+m.Name+"/inputs_after", int64(len(m.Inputs)))
+	obs.Add("lt/moves", int64(len(rep.Moves)))
+	obs.Add("lt/assumptions", int64(len(rep.Assumptions)))
+	all.EndErr(err)
+	if err != nil {
+		return rep, err
 	}
 	return rep, nil
 }

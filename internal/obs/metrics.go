@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StageStat aggregates the spans observed for one pipeline stage.
+type StageStat struct {
+	Count int64         // spans completed
+	Total time.Duration // summed wall time
+	Max   time.Duration // slowest single span
+}
+
+// Metrics is a registry of per-stage timings, counters and gauges. All
+// methods are safe for concurrent use; the zero value is not usable, call
+// NewMetrics.
+//
+// Naming convention: every metric name is a slash-path whose first
+// segment is the owning stage. Two-segment names ("gt2/arcs_removed")
+// render inline on that stage's table row; deeper names are per-unit
+// observations ("lt/ALU1/states_before") and render in the counters/
+// gauges sections. Counters accumulate (Add), gauges hold the last value
+// (Set).
+type Metrics struct {
+	mu       sync.Mutex
+	order    []string // stages in first-completion order
+	stages   map[string]*StageStat
+	counters map[string]int64
+	gauges   map[string]int64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		stages:   map[string]*StageStat{},
+		counters: map[string]int64{},
+		gauges:   map[string]int64{},
+	}
+}
+
+// Observe records one completed span of `stage` taking d.
+func (m *Metrics) Observe(stage string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stages[stage]
+	if st == nil {
+		st = &StageStat{}
+		m.stages[stage] = st
+		m.order = append(m.order, stage)
+	}
+	st.Count++
+	st.Total += d
+	if d > st.Max {
+		st.Max = d
+	}
+}
+
+// Add increments counter `name` by v.
+func (m *Metrics) Add(name string, v int64) {
+	m.mu.Lock()
+	m.counters[name] += v
+	m.mu.Unlock()
+}
+
+// Set stores v as the current value of gauge `name`.
+func (m *Metrics) Set(name string, v int64) {
+	m.mu.Lock()
+	m.gauges[name] = v
+	m.mu.Unlock()
+}
+
+// Counter returns the current value of a counter (0 if never written).
+func (m *Metrics) Counter(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Gauge returns the current value of a gauge (0 if never written).
+func (m *Metrics) Gauge(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gauges[name]
+}
+
+// Stage returns the aggregated stat for a stage.
+func (m *Metrics) Stage(name string) (StageStat, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.stages[name]
+	if !ok {
+		return StageStat{}, false
+	}
+	return *st, true
+}
+
+// Stages returns the observed stage names in first-completion order —
+// within one flow run this is the pipeline order, because every worker
+// goroutine completes the stages in the same sequence.
+func (m *Metrics) Stages() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string{}, m.order...)
+}
+
+// Table renders the registry as the per-stage table the CLI's -metrics
+// flag prints: one row per stage (calls, total and max wall time, plus
+// that stage's own counters inline), then the per-unit counters and
+// gauges sorted by name.
+func (m *Metrics) Table() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %7s %12s %12s\n", "stage", "calls", "total", "max")
+	attached := map[string]bool{}
+	for _, stage := range m.order {
+		st := m.stages[stage]
+		fmt.Fprintf(&b, "%-10s %7d %12s %12s", stage, st.Count,
+			fmtDur(st.Total), fmtDur(st.Max))
+		// Inline the stage's own (two-segment) counters.
+		var own []string
+		for name := range m.counters {
+			rest, ok := strings.CutPrefix(name, stage+"/")
+			if ok && !strings.Contains(rest, "/") {
+				own = append(own, name)
+			}
+		}
+		sort.Strings(own)
+		for _, name := range own {
+			attached[name] = true
+			fmt.Fprintf(&b, "  %s=%d", strings.TrimPrefix(name, stage+"/"), m.counters[name])
+		}
+		b.WriteString("\n")
+	}
+	var rest []string
+	for name := range m.counters {
+		if !attached[name] {
+			rest = append(rest, name)
+		}
+	}
+	if len(rest) > 0 {
+		sort.Strings(rest)
+		b.WriteString("counters:\n")
+		for _, name := range rest {
+			fmt.Fprintf(&b, "  %-38s %10d\n", name, m.counters[name])
+		}
+	}
+	if len(m.gauges) > 0 {
+		var names []string
+		for name := range m.gauges {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		b.WriteString("gauges:\n")
+		for _, name := range names {
+			fmt.Fprintf(&b, "  %-38s %10d\n", name, m.gauges[name])
+		}
+	}
+	return b.String()
+}
+
+// fmtDur renders a duration at µs resolution, keeping table columns
+// stable across runs of very different speed.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}

@@ -1,0 +1,46 @@
+package par_test
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// ExampleMap fans a per-item computation out across the worker pool.
+// Results come back in input order no matter how workers interleave, so
+// parallelism stays a pure performance knob.
+func ExampleMap() {
+	items := []int{1, 2, 3, 4, 5}
+	squares, err := par.Map(0, items, func(_ int, v int) (int, error) {
+		return v * v, nil
+	})
+	fmt.Println(squares, err)
+	// Output: [1 4 9 16 25] <nil>
+}
+
+// ExampleForEach is the index-only variant, here filling a pre-sized
+// slice in place (each worker writes only its own slot).
+func ExampleForEach() {
+	doubled := make([]int, 4)
+	err := par.ForEach(2, len(doubled), func(i int) error {
+		doubled[i] = i * 2
+		return nil
+	})
+	fmt.Println(doubled, err)
+	// Output: [0 2 4 6] <nil>
+}
+
+// ExampleNamedMap attributes the fan-out to a pipeline stage: pool
+// metrics report under par/<stage>/... and a worker panic is surfaced as
+// a *par.PanicError carrying the stage name.
+func ExampleNamedMap() {
+	_, err := par.NamedMap("lt", 2, []string{"ALU1", "boom"}, func(_ int, fu string) (string, error) {
+		if fu == "boom" {
+			panic("controller exploded")
+		}
+		return fu, nil
+	})
+	pe := err.(*par.PanicError)
+	fmt.Println(pe.Stage, pe.Value)
+	// Output: lt controller exploded
+}

@@ -5,19 +5,49 @@
 // output signal, and design-space exploration evaluates independent
 // variants — and every one of those loops fans out through this package.
 //
-// The determinism contract: Map and ForEach deliver results into
-// index-addressed slots, never by append from goroutines, so the caller
-// observes exactly the ordering of the sequential loop regardless of
-// worker interleaving. Errors are aggregated and the lowest-index error is
-// returned first, matching what a sequential loop that stops at the first
-// failure would have reported. Panics in workers are recovered and
-// surfaced as *PanicError values instead of crashing sibling goroutines.
+// # Usage
+//
+// Map fans a slice out across a bounded pool and collects results in
+// input order; ForEach is the index-only variant. A stage-named fan-out
+// (NamedMap) additionally attributes pool metrics and worker panics to a
+// pipeline stage:
+//
+//	reps, err := par.NamedMap("lt", workers, fus, func(_ int, fu string) (*local.Report, error) {
+//	    return local.Optimize(machines[fu])
+//	})
+//
+// `workers` is a knob, not a count: 0 (or negative) selects GOMAXPROCS
+// and 1 forces the inline sequential path (no goroutines — the debugging
+// fallback). See ExampleMap and ExampleForEach.
+//
+// # Determinism contract
+//
+// Map and ForEach deliver results into index-addressed slots, never by
+// append from goroutines, so the caller observes exactly the ordering of
+// the sequential loop regardless of worker interleaving. Errors are
+// aggregated and the lowest-index error is returned first, matching what
+// a sequential loop that stops at the first failure would have reported.
+// Panics in workers are recovered and surfaced as *PanicError values
+// (carrying the stage name and captured stack) instead of crashing
+// sibling goroutines.
+//
+// # Observability
+//
+// Every fan-out reports to the global obs registry (a no-op unless the
+// CLI enabled -metrics/-trace): gauges par/<stage>/queued and
+// par/<stage>/workers record the pool shape, and counters
+// par/<stage>/tasks and par/<stage>/panics record how many tasks actually
+// executed versus panicked — so a fan-out that dies mid-flight is visible
+// in the stage table, attributed to its stage.
 package par
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Workers resolves a parallelism knob to a concrete worker count: 0 (or
@@ -32,11 +62,15 @@ func Workers(n int) int {
 
 // PanicError wraps a panic recovered in a worker goroutine.
 type PanicError struct {
+	Stage string      // pipeline stage the fan-out was running (may be empty)
 	Value interface{} // the recovered panic value
 	Stack []byte      // stack trace captured at recovery
 }
 
 func (e *PanicError) Error() string {
+	if e.Stage != "" {
+		return fmt.Sprintf("par: worker panic in stage %s: %v\n%s", e.Stage, e.Value, e.Stack)
+	}
 	return fmt.Sprintf("par: worker panic: %v\n%s", e.Value, e.Stack)
 }
 
@@ -47,18 +81,42 @@ func (e *PanicError) Error() string {
 // are index-addressed, not short-circuited) and returns the error with
 // the lowest index — the same error a sequential loop returns first.
 func Map[T, R any](workers int, items []T, f func(int, T) (R, error)) ([]R, error) {
+	return NamedMap("", workers, items, f)
+}
+
+// NamedMap is Map with the fan-out attributed to a pipeline stage: pool
+// metrics are recorded under par/<stage>/... and a worker panic carries
+// the stage name in its *PanicError. The empty stage reports under plain
+// "par/" keys.
+func NamedMap[T, R any](stage string, workers int, items []T, f func(int, T) (R, error)) ([]R, error) {
 	out := make([]R, len(items))
 	errs := make([]error, len(items))
+	var executed, panicked atomic.Int64
 	run := func(i int) {
 		defer func() {
+			executed.Add(1)
 			if r := recover(); r != nil {
-				errs[i] = &PanicError{Value: r, Stack: stack()}
+				panicked.Add(1)
+				errs[i] = &PanicError{Stage: stage, Value: r, Stack: stack()}
 			}
 		}()
 		out[i], errs[i] = f(i, items[i])
 	}
 	workers = Workers(workers)
-	if workers == 1 || len(items) <= 1 {
+	if workers > len(items) {
+		workers = len(items)
+	}
+	prefix := "par/"
+	if stage != "" {
+		prefix = "par/" + stage + "/"
+	}
+	obs.Set(prefix+"queued", int64(len(items)))
+	obs.Set(prefix+"workers", int64(workers))
+	defer func() {
+		obs.Add(prefix+"tasks", executed.Load())
+		obs.Add(prefix+"panics", panicked.Load())
+	}()
+	if workers <= 1 || len(items) <= 1 {
 		for i := range items {
 			run(i)
 			if errs[i] != nil {
@@ -66,9 +124,6 @@ func Map[T, R any](workers int, items []T, f func(int, T) (R, error)) ([]R, erro
 			}
 		}
 		return out, nil
-	}
-	if workers > len(items) {
-		workers = len(items)
 	}
 	var (
 		wg   sync.WaitGroup

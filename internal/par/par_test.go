@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestWorkers(t *testing.T) {
@@ -104,6 +106,101 @@ func TestMapBoundedConcurrency(t *testing.T) {
 	}
 	if p := peak.Load(); p > workers {
 		t.Errorf("peak concurrency %d exceeds worker bound %d", p, workers)
+	}
+}
+
+// withMetrics installs a fresh global metrics registry for one test.
+func withMetrics(t *testing.T) *obs.Metrics {
+	t.Helper()
+	prev := obs.Gather()
+	m := obs.NewMetrics()
+	obs.SetMetrics(m)
+	t.Cleanup(func() { obs.SetMetrics(prev) })
+	return m
+}
+
+func TestNamedMapPanicCarriesStage(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := NamedMap("lt", workers, []int{0, 1, 2}, func(i, v int) (int, error) {
+			if v == 1 {
+				panic("boom")
+			}
+			return v, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Stage != "lt" {
+			t.Errorf("workers=%d: panic lost its stage: %q", workers, pe.Stage)
+		}
+		if got := pe.Error(); !errors.As(err, &pe) || !containsAll(got, "stage lt", "boom") {
+			t.Errorf("workers=%d: Error() = %q, want stage and value", workers, got)
+		}
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNamedMapMetrics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		m := withMetrics(t)
+		_, err := NamedMap("hfmin", workers, make([]int, 12), func(i, v int) (int, error) {
+			if i == 5 {
+				panic("one task dies")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		tasks := m.Counter("par/hfmin/tasks")
+		panics := m.Counter("par/hfmin/panics")
+		if workers == 1 {
+			// Sequential path short-circuits at the failure, like a plain loop.
+			if tasks != 6 || panics != 1 {
+				t.Errorf("sequential: tasks=%d panics=%d, want 6/1", tasks, panics)
+			}
+		} else {
+			// Parallel path runs every task regardless of failures.
+			if tasks != 12 || panics != 1 {
+				t.Errorf("parallel: tasks=%d panics=%d, want 12/1", tasks, panics)
+			}
+		}
+		if got := m.Gauge("par/hfmin/queued"); got != 12 {
+			t.Errorf("workers=%d: queued gauge = %d, want 12", workers, got)
+		}
+		if got := m.Gauge("par/hfmin/workers"); got != int64(min(workers, 12)) {
+			t.Errorf("workers=%d: workers gauge = %d", workers, got)
+		}
+	}
+}
+
+func TestMapMetricsUnnamed(t *testing.T) {
+	m := withMetrics(t)
+	if _, err := Map(4, make([]int, 8), func(i, v int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter("par/tasks"); got != 8 {
+		t.Errorf("par/tasks = %d, want 8", got)
+	}
+	if got := m.Counter("par/panics"); got != 0 {
+		t.Errorf("par/panics = %d, want 0", got)
 	}
 }
 

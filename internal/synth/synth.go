@@ -8,6 +8,7 @@ import (
 	"repro/internal/bm"
 	"repro/internal/hfmin"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -61,7 +62,9 @@ func Synthesize(m *bm.Machine) (*Result, error) {
 // minimized against the same immutable concretized machine and encoding,
 // and results are collected by function index, so the outcome is
 // bit-identical to the sequential path.
-func SynthesizeParallel(m *bm.Machine, workers int) (*Result, error) {
+func SynthesizeParallel(m *bm.Machine, workers int) (_ *Result, err error) {
+	sp := obs.Start("synth", m.Name)
+	defer func() { sp.EndErr(err) }()
 	c, err := Concretize(m)
 	if err != nil {
 		return nil, err
@@ -99,6 +102,7 @@ func SynthesizeParallel(m *bm.Machine, workers int) (*Result, error) {
 			res, err := synthesizeWith(c, enc, len(reach), true, a.strict, a.feedback, workers)
 			if err == nil {
 				res.Controller = m.Name
+				recordSynth(res)
 				return res, nil
 			}
 			lastErr = err
@@ -112,12 +116,21 @@ func SynthesizeParallel(m *bm.Machine, workers int) (*Result, error) {
 			res, err := synthesizeWith(c, enc, bits, false, a.strict, a.feedback, workers)
 			if err == nil {
 				res.Controller = m.Name
+				recordSynth(res)
 				return res, nil
 			}
 			lastErr = err
 		}
 	}
 	return nil, fmt.Errorf("synth %s: all encoding attempts failed: %v", m.Name, lastErr)
+}
+
+// recordSynth publishes the Figure 13 metrics of a successful synthesis
+// to the global obs registry.
+func recordSynth(r *Result) {
+	obs.Add("synth/products", int64(r.Products))
+	obs.Add("synth/literals", int64(r.Literals))
+	obs.Add("synth/nonhazardfree", int64(r.NonHazardFree))
 }
 
 // sequentialEncoding assigns codes in a BFS-ordered Gray sequence, which
@@ -166,6 +179,7 @@ func oneHotEncoding(reach []int) map[int]uint64 {
 // minimizations are independent (they only read the shared concretized
 // machine and encoding) and fan out across `workers` goroutines.
 func synthesizeWith(c *Concrete, enc map[int]uint64, bits int, oneHot, strict, feedback bool, workers int) (*Result, error) {
+	obs.Add("synth/attempts", 1)
 	vars, varIdx := variableOrder(c, bits, feedback)
 	n := len(vars)
 	if n > logic.MaxVars {
@@ -188,7 +202,11 @@ func synthesizeWith(c *Concrete, enc map[int]uint64, bits int, oneHot, strict, f
 		fns = append(fns, fn{name: fmt.Sprintf("Y%d", b), ybit: b})
 	}
 
-	minimized, err := par.Map(workers, fns, func(_ int, f fn) (FuncResult, error) {
+	minimized, err := par.NamedMap("hfmin", workers, fns, func(_ int, f fn) (FuncResult, error) {
+		fnSp := obs.Start("hfmin", c.Name+"."+f.name)
+		defer fnSp.End()
+		obs.Add("hfmin/minimizations", 1)
+		obs.Add("hfmin/"+c.Name+"/iterations", 1)
 		spec := hfmin.Spec{N: n}
 		for _, t := range c.Trans {
 			from := c.States[t.From]
@@ -257,6 +275,7 @@ func synthesizeWith(c *Concrete, enc map[int]uint64, bits int, oneHot, strict, f
 			// insert extra state variables here); fall back to the plain
 			// two-level cover and record the deficiency.
 			hf = false
+			obs.Add("hfmin/fallbacks", 1)
 			r, err = hfmin.MinimizePlain(spec)
 		}
 		if err != nil {

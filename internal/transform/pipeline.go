@@ -2,6 +2,7 @@ package transform
 
 import (
 	"repro/internal/cdfg"
+	"repro/internal/obs"
 	"repro/internal/timing"
 )
 
@@ -30,38 +31,55 @@ func (o Options) hasTiming() bool {
 // parallelism, GT2 dominated-constraint removal, GT3 relative timing, GT4
 // assignment merging, GT5 channel elimination — to the graph in place, and
 // returns the resulting channel plan plus per-transform reports.
+//
+// Each transform runs under an obs span named after its stage ("gt1" ..
+// "gt5") and records the arcs it added/removed as <stage>/arcs_added and
+// <stage>/arcs_removed counters; GT5 additionally records the channel
+// counts before and after elimination (the Figure 5 comparison) as
+// gt5/channels_before and gt5/channels_after gauges.
 func OptimizeGT(g *cdfg.Graph, opt Options) (*Plan, []*Report, error) {
 	if opt.Unroll == 0 {
 		opt.Unroll = 3
 	}
 	var reports []*Report
-	run := func(skip bool, f func() (*Report, error)) error {
+	run := func(stage string, skip bool, f func() (*Report, error)) error {
 		if skip {
 			return nil
 		}
+		sp := obs.Start(stage, "")
 		rep, err := f()
+		sp.EndErr(err)
 		if rep != nil {
 			reports = append(reports, rep)
+			obs.Add(stage+"/arcs_added", int64(len(rep.Added)))
+			obs.Add(stage+"/arcs_removed", int64(len(rep.Removed)))
 		}
 		return err
 	}
-	if err := run(opt.SkipGT1, func() (*Report, error) { return LoopParallelism(g) }); err != nil {
+	if err := run("gt1", opt.SkipGT1, func() (*Report, error) { return LoopParallelism(g) }); err != nil {
 		return nil, reports, err
 	}
-	if err := run(opt.SkipGT2, func() (*Report, error) { return RemoveDominated(g) }); err != nil {
+	if err := run("gt2", opt.SkipGT2, func() (*Report, error) { return RemoveDominated(g) }); err != nil {
 		return nil, reports, err
 	}
 	if !opt.SkipGT3 && opt.hasTiming() {
-		if err := run(false, func() (*Report, error) { return RelativeTiming(g, opt.Timing, opt.Unroll) }); err != nil {
+		if err := run("gt3", false, func() (*Report, error) { return RelativeTiming(g, opt.Timing, opt.Unroll) }); err != nil {
 			return nil, reports, err
 		}
 	}
-	if err := run(opt.SkipGT4, func() (*Report, error) { return MergeAssignments(g) }); err != nil {
+	if err := run("gt4", opt.SkipGT4, func() (*Report, error) { return MergeAssignments(g) }); err != nil {
 		return nil, reports, err
 	}
 	plan := BuildChannels(g)
 	if !opt.SkipGT5 {
-		reports = append(reports, plan.Eliminate())
+		obs.Set("gt5/channels_before", int64(plan.Count()))
+		sp := obs.Start("gt5", "")
+		rep := plan.Eliminate()
+		sp.End()
+		reports = append(reports, rep)
+		obs.Add("gt5/arcs_added", int64(len(rep.Added)))
+		obs.Add("gt5/arcs_removed", int64(len(rep.Removed)))
+		obs.Set("gt5/channels_after", int64(plan.Count()))
 	}
 	return plan, reports, nil
 }

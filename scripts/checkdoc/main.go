@@ -1,0 +1,91 @@
+// Command checkdoc enforces the repo's documentation bar: every package
+// must carry a package-level doc comment (godoc). It walks the module
+// tree, parses only package clauses and their comments (no type checking,
+// so it is fast and dependency-free), and fails listing every package
+// directory whose files all lack a package comment.
+//
+// Run from the repo root, typically via scripts/verify.sh:
+//
+//	go run ./scripts/checkdoc
+//
+// Exit status: 0 when every package is documented, 1 otherwise.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	missing, err := scan(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkdoc:", err)
+		os.Exit(1)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintln(os.Stderr, "checkdoc: packages missing a package doc comment:")
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("checkdoc: all packages documented")
+}
+
+// scan returns the directories under root containing a Go package none of
+// whose files has a package doc comment. Test-only packages (everything
+// in *_test.go files) are exempt: their doc surface is the package under
+// test.
+func scan(root string) ([]string, error) {
+	// dir -> has any non-test Go file / has a package doc comment
+	type state struct{ hasGo, hasDoc bool }
+	dirs := map[string]*state{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, perr := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("%s: %w", path, perr)
+		}
+		dir := filepath.Dir(path)
+		st := dirs[dir]
+		if st == nil {
+			st = &state{}
+			dirs[dir] = st
+		}
+		st.hasGo = true
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			st.hasDoc = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	for dir, st := range dirs {
+		if st.hasGo && !st.hasDoc {
+			missing = append(missing, dir)
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification for this repo, as documented in ROADMAP.md and
+# DESIGN.md: build, static checks, documentation bar, and the full test
+# suite under the race detector (mandatory because the synthesis engine
+# fans out across a worker pool).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+echo "== go vet"
+go vet ./...
+echo "== checkdoc (package docs present)"
+go run ./scripts/checkdoc
+echo "== go test -race"
+go test -race ./...
+echo "== verify: OK"
