@@ -23,6 +23,7 @@ import (
 	"repro/internal/fir"
 	"repro/internal/gcd"
 	"repro/internal/local"
+	"repro/internal/memo"
 	"repro/internal/sim"
 	"repro/internal/synth"
 	"repro/internal/timing"
@@ -529,4 +530,73 @@ func BenchmarkMakespanByLevel(b *testing.B) {
 	for name, tm := range times {
 		b.ReportMetric(tm, "t-"+name)
 	}
+}
+
+// --- Memoized synthesis: the hfmin cache's effect on repeat runs ----------
+//
+// The content-addressed cache (internal/memo) amortizes hazard-free
+// minimization across runs and variants. This benchmark reports the
+// speedup of a warm-cache pipeline over the uncached baseline; the
+// cold-cache penalty is bounded separately by TestColdCacheOverheadGuard.
+
+var (
+	memoBaseOnce sync.Once
+	memoBaseNs   float64
+)
+
+func BenchmarkPipelineMemoized(b *testing.B) {
+	run := func(min synth.Minimizer) {
+		opt := core.DefaultOptions()
+		opt.Minimizer = min
+		s, err := core.Run(diffeq.Build(diffeq.DefaultParams()), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.SynthesizeLogic(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	base := seqBaseline(b, &memoBaseOnce, &memoBaseNs, func() { run(nil) })
+	cache, err := memo.New("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run(cache) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(cache)
+	}
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(base/perOp, "speedup")
+	st := cache.Stats()
+	b.ReportMetric(float64(st.Hits), "hits")
+	b.ReportMetric(float64(st.Misses), "misses")
+}
+
+// BenchmarkExploreSweepSynthMemoized measures the gate-level exploration
+// sweep (every variant synthesized, as the CLI's explore command runs it)
+// with a shared cache versus without.
+var (
+	sweepSynthBaseOnce sync.Once
+	sweepSynthBaseNs   float64
+)
+
+func BenchmarkExploreSweepSynthMemoized(b *testing.B) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	variants := explore.AllVariants()
+	sweep := func(min synth.Minimizer) {
+		explore.SweepWith(g.Clone(), variants, explore.Options{Workers: 1, Synthesize: true, Minimizer: min})
+	}
+	base := seqBaseline(b, &sweepSynthBaseOnce, &sweepSynthBaseNs, func() { sweep(nil) })
+	cache, err := memo.New("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweep(cache) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep(cache)
+	}
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(base/perOp, "speedup")
 }

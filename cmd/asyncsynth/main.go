@@ -27,6 +27,13 @@
 //	-pprof addr        serve net/http/pprof on addr (e.g. localhost:6060)
 //	                   for CPU/heap/goroutine profiling while running
 //
+// Hazard-free minimization — the dominant pipeline cost — is memoized
+// through a content-addressed cache (internal/memo). In-memory memoization
+// is on by default; -cache-dir persists solved problems across runs and
+// -no-cache disables the layer. Results are bit-identical either way; the
+// -metrics table's memo/hits, memo/misses, memo/dedup-waits and
+// memo/disk-hits counters show the cache's effect.
+//
 // Benchmarks: diffeq (default), gcd, fir.
 package main
 
@@ -44,6 +51,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/fir"
 	"repro/internal/gcd"
+	"repro/internal/memo"
 	"repro/internal/obs"
 	"repro/internal/synth"
 	"repro/internal/transform"
@@ -56,7 +64,14 @@ var (
 	traceOut    = flag.String("trace", "", "write structured span events (JSONL) to this file")
 	showMetrics = flag.Bool("metrics", false, "print the per-stage metrics table after the command")
 	pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cacheDir    = flag.String("cache-dir", "", "persist hazard-free minimization results under this directory (warm runs skip re-solving)")
+	noCache     = flag.Bool("no-cache", false, "disable hazard-free minimization memoization entirely")
 )
+
+// minimizer is the process-wide hfmin memoization cache built from
+// -cache-dir/-no-cache; nil when -no-cache. A typed nil *memo.Cache must
+// not leak into the synth.Minimizer interface, hence the indirection.
+var minimizer synth.Minimizer
 
 func main() { os.Exit(run()) }
 
@@ -76,6 +91,14 @@ func run() int {
 		return 1
 	}
 	defer teardown()
+	if !*noCache {
+		cache, err := memo.New(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asyncsynth:", err)
+			return 1
+		}
+		minimizer = cache
+	}
 	cmd := flag.Arg(0)
 	args := flag.Args()[1:]
 	switch cmd {
@@ -168,6 +191,10 @@ flags:
                             the command
   -pprof addr               serve net/http/pprof on addr while running
                             (e.g. localhost:6060)
+  -cache-dir dir            persist hazard-free minimization results in dir;
+                            warm runs load them instead of re-solving
+  -no-cache                 disable minimization memoization (results are
+                            identical either way; only wall time changes)
 
 commands:
   report fig5|fig12|fig13   regenerate a paper table/figure (DIFFEQ)
@@ -184,10 +211,12 @@ commands:
 benchmarks: diffeq (default), gcd, fir`)
 }
 
-// defaultOpts is core.DefaultOptions with the -j worker-pool bound applied.
+// defaultOpts is core.DefaultOptions with the -j worker-pool bound and the
+// -cache-dir/-no-cache minimization cache applied.
 func defaultOpts() core.Options {
 	opt := core.DefaultOptions()
 	opt.Parallelism = *jWorkers
+	opt.Minimizer = minimizer
 	return opt
 }
 
@@ -370,7 +399,11 @@ func doExplore(args []string) error {
 	if err != nil {
 		return err
 	}
-	scores := explore.SweepParallel(g, explore.AllVariants(), *jWorkers)
+	scores := explore.SweepWith(g, explore.AllVariants(), explore.Options{
+		Workers:    *jWorkers,
+		Synthesize: true,
+		Minimizer:  minimizer,
+	})
 	fmt.Print(explore.Format(scores))
 	if best, ok := explore.Best(scores, func(s explore.Score) float64 { return s.Makespan }); ok {
 		fmt.Printf("\nfastest variant: %s (makespan %.1f)\n", best.Variant.Name, best.Makespan)

@@ -65,6 +65,12 @@ type Options struct {
 	// minimization: 0 selects GOMAXPROCS, 1 forces the sequential path
 	// (useful for debugging). Results are identical at every setting.
 	Parallelism int
+	// Minimizer, when non-nil, routes every exact hazard-free
+	// minimization through a memoization layer (internal/memo's *Cache).
+	// Results are bit-identical with and without it; only wall time
+	// changes. Sharing one cache across runs (e.g. an exploration sweep)
+	// turns repeated minimization problems into hits.
+	Minimizer synth.Minimizer
 }
 
 // DefaultOptions runs the full pipeline.
@@ -86,6 +92,9 @@ type Synthesis struct {
 	// Parallelism is the worker-pool bound inherited from Options; it
 	// governs SynthesizeLogic's per-controller fan-out.
 	Parallelism int
+	// Minimizer is the optional hfmin memoization layer inherited from
+	// Options, used by SynthesizeLogic.
+	Minimizer synth.Minimizer
 }
 
 // FUs returns the controller (functional-unit) names in sorted order —
@@ -117,6 +126,7 @@ func Run(g *cdfg.Graph, opt Options) (_ *Synthesis, err error) {
 		Shared:      map[string]map[string][]string{},
 		LTReports:   map[string]*local.Report{},
 		Parallelism: opt.Parallelism,
+		Minimizer:   opt.Minimizer,
 	}
 	exOpt := extract.Options{}
 	if opt.Level == Unoptimized {
@@ -201,7 +211,7 @@ func (s *Synthesis) StateCounts() map[string][2]int {
 func (s *Synthesis) SynthesizeLogic() (map[string]*synth.Result, error) {
 	fus := s.FUs()
 	results, err := par.NamedMap("synth", s.Parallelism, fus, func(_ int, fu string) (*synth.Result, error) {
-		r, err := synth.SynthesizeParallel(s.Machines[fu], s.Parallelism)
+		r, err := synth.SynthesizeMemo(s.Machines[fu], s.Parallelism, s.Minimizer)
 		if err != nil {
 			return nil, fmt.Errorf("core: synthesis of %s: %w", fu, err)
 		}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sim"
+	"repro/internal/synth"
 	"repro/internal/timing"
 	"repro/internal/transform"
 )
@@ -53,18 +54,40 @@ type Score struct {
 	Assumed   int     // number of timing assumptions taken
 	RunError  string
 	Simulated bool
+	// Gate-level metrics, filled when the sweep ran with Synthesize
+	// (Figure 13's columns per design point).
+	Products    int
+	Literals    int
+	Synthesized bool
+	SynthError  string
+}
+
+// Options configures a sweep.
+type Options struct {
+	// Workers bounds the worker pool (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
+	// Synthesize additionally runs gate-level synthesis per variant and
+	// scores product/literal totals. This multiplies sweep cost — the
+	// hazard-free minimizer dominates the flow — which is what Minimizer
+	// amortizes.
+	Synthesize bool
+	// Minimizer is the shared hfmin memoization layer (one cache per
+	// sweep): variants whose ablated transform leaves a controller's AFSM
+	// untouched re-pose identical minimization problems, which become
+	// cache hits instead of repeated solves.
+	Minimizer synth.Minimizer
 }
 
 // Evaluate runs one variant on a fresh clone of the graph.
 func Evaluate(g *cdfg.Graph, v Variant) Score {
-	return evaluateOn(g.Clone(), v, 1)
+	return evaluateOn(g.Clone(), v, Options{Workers: 1})
 }
 
 // evaluateOn scores one variant on a private working graph (which it
-// mutates), running the flow's internal fan-out on `workers`. Each
+// mutates), running the flow's internal fan-out on sweep.Workers. Each
 // evaluation is one obs span (stage "explore", unit = variant name), so a
 // traced sweep shows every variant's whole-flow cost side by side.
-func evaluateOn(work *cdfg.Graph, v Variant, workers int) Score {
+func evaluateOn(work *cdfg.Graph, v Variant, sweep Options) Score {
 	sp := obs.Start("explore", v.Name)
 	defer sp.End()
 	obs.Add("explore/variants", 1)
@@ -79,7 +102,8 @@ func evaluateOn(work *cdfg.Graph, v Variant, workers int) Score {
 			SkipGT4: v.SkipGT4, SkipGT5: v.SkipGT5,
 		},
 	}
-	opt.Parallelism = workers
+	opt.Parallelism = sweep.Workers
+	opt.Minimizer = sweep.Minimizer
 	if v.LT {
 		opt.Level = core.OptimizedGTLT
 	}
@@ -104,6 +128,19 @@ func evaluateOn(work *cdfg.Graph, v Variant, workers int) Score {
 		sc.Makespan = res.FinishTime
 		sc.Simulated = true
 	}
+	if sweep.Synthesize {
+		results, err := s.SynthesizeLogic()
+		if err != nil {
+			sc.SynthError = err.Error()
+			obs.Add("explore/errors", 1)
+			return sc
+		}
+		for _, r := range results {
+			sc.Products += r.Products
+			sc.Literals += r.Literals
+		}
+		sc.Synthesized = true
+	}
 	return sc
 }
 
@@ -123,21 +160,39 @@ func Sweep(g *cdfg.Graph, variants []Variant) []Score {
 // whole flow on its private clone. Scores land in index-addressed slots,
 // so the result slice is identical to Sweep's, element for element.
 func SweepParallel(g *cdfg.Graph, variants []Variant, workers int) []Score {
+	return SweepWith(g, variants, Options{Workers: workers})
+}
+
+// SweepWith is the fully-configurable sweep: SweepParallel's concurrency
+// contract plus optional gate-level scoring behind a shared memoization
+// layer. Scores are deterministic at every worker count and cache state.
+func SweepWith(g *cdfg.Graph, variants []Variant, opt Options) []Score {
 	clones := make([]*cdfg.Graph, len(variants))
 	for i := range variants {
 		clones[i] = g.Clone()
 	}
-	out, _ := par.NamedMap("explore", workers, variants, func(i int, v Variant) (Score, error) {
-		return evaluateOn(clones[i], v, workers), nil
+	out, _ := par.NamedMap("explore", opt.Workers, variants, func(i int, v Variant) (Score, error) {
+		return evaluateOn(clones[i], v, opt), nil
 	})
 	return out
 }
 
-// Format renders a sweep as a table.
+// Format renders a sweep as a table. Gate-level columns appear when any
+// score carries them (a sweep run with Options.Synthesize).
 func Format(scores []Score) string {
+	gate := false
+	for _, sc := range scores {
+		if sc.Synthesized || sc.SynthError != "" {
+			gate = true
+		}
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %9s %6s %7s %7s %9s %8s\n",
+	fmt.Fprintf(&b, "%-12s %9s %6s %7s %7s %9s %8s",
 		"variant", "#channels", "#mway", "states", "trans", "makespan", "assumed")
+	if gate {
+		fmt.Fprintf(&b, " %7s %7s", "#prod", "#lits")
+	}
+	b.WriteString("\n")
 	for _, sc := range scores {
 		if sc.RunError != "" {
 			fmt.Fprintf(&b, "%-12s ERROR: %s\n", sc.Variant.Name, sc.RunError)
@@ -147,8 +202,18 @@ func Format(scores []Score) string {
 		if sc.Simulated {
 			ms = fmt.Sprintf("%9.1f", sc.Makespan)
 		}
-		fmt.Fprintf(&b, "%-12s %9d %6d %7d %7d %9s %8d\n",
+		fmt.Fprintf(&b, "%-12s %9d %6d %7d %7d %9s %8d",
 			sc.Variant.Name, sc.Channels, sc.Multiway, sc.States, sc.Trans, ms, sc.Assumed)
+		if gate {
+			if sc.Synthesized {
+				fmt.Fprintf(&b, " %7d %7d", sc.Products, sc.Literals)
+			} else if sc.SynthError != "" {
+				fmt.Fprintf(&b, " SYNTH ERROR: %s", sc.SynthError)
+			} else {
+				fmt.Fprintf(&b, " %7s %7s", "-", "-")
+			}
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }

@@ -28,6 +28,7 @@ package hfmin
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/logic"
 )
@@ -89,6 +90,38 @@ type Spec struct {
 	Transitions []Transition
 }
 
+// Canonical returns a copy of the spec with the transitions sorted by the
+// total order on (kind, start, end) cube keys. Two specs describing the
+// same set of transitions in different construction orders have identical
+// canonical forms, which makes them hash alike (content-addressed
+// memoization in internal/memo) and — because Analyze canonicalizes its
+// input — minimize alike: prime generation and covering tie-breaks see the
+// same ordering regardless of how the caller assembled the spec.
+func (s Spec) Canonical() Spec {
+	ts := append([]Transition(nil), s.Transitions...)
+	sort.Slice(ts, func(i, j int) bool { return transLess(ts[i], ts[j]) })
+	return Spec{N: s.N, Transitions: ts}
+}
+
+// transLess is the total order behind Canonical: kind first, then the raw
+// cube keys of start and end.
+func transLess(a, b Transition) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if ak, bk := a.Start.Key(), b.Start.Key(); ak != bk {
+		if ak[0] != bk[0] {
+			return ak[0] < bk[0]
+		}
+		return ak[1] < bk[1]
+	}
+	ak, bk := a.End.Key(), b.End.Key()
+	if ak[0] != bk[0] {
+		return ak[0] < bk[0]
+	}
+	return ak[1] < bk[1]
+}
+
 // Result reports details of a minimization.
 type Result struct {
 	Cover      logic.Cover
@@ -114,8 +147,13 @@ func (r Result) Products() int { return r.Cover.Len() }
 func (r Result) Literals() int { return r.Cover.Literals() }
 
 // Analyze derives the ON-set, OFF-set, required cubes and privileged cubes
-// of a specification without minimizing.
+// of a specification without minimizing. The spec is canonicalized first
+// (see Spec.Canonical), so the derived sets — and everything downstream of
+// them, including covering tie-breaks — do not depend on transition
+// insertion order. Transition indices in errors refer to the canonical
+// order.
 func Analyze(spec Spec) (Result, error) {
+	spec = spec.Canonical()
 	var res Result
 	res.OnSet = logic.Cover{N: spec.N}
 	res.OffSet = logic.Cover{N: spec.N}

@@ -2,6 +2,7 @@ package hfmin
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/logic"
@@ -308,5 +309,93 @@ func TestHeuristicNotExactFlag(t *testing.T) {
 	}
 	if res.Exact {
 		t.Error("heuristic result must not claim exactness")
+	}
+}
+
+// TestCanonicalSorts: Canonical orders transitions by (kind, start, end)
+// and is idempotent; the input spec is never mutated.
+func TestCanonicalSorts(t *testing.T) {
+	spec := Spec{N: 3, Transitions: []Transition{
+		tr("1-0", "1-0", Static1),
+		tr("011", "011", Static0),
+		tr("10-", "11-", Rise),
+		tr("00-", "00-", Static0),
+	}}
+	orig := append([]Transition(nil), spec.Transitions...)
+	canon := spec.Canonical()
+	for i := 1; i < len(canon.Transitions); i++ {
+		if !transLess(canon.Transitions[i-1], canon.Transitions[i]) {
+			t.Errorf("canonical transitions %d and %d out of order", i-1, i)
+		}
+	}
+	again := canon.Canonical()
+	for i := range canon.Transitions {
+		if again.Transitions[i] != canon.Transitions[i] {
+			t.Error("Canonical is not idempotent")
+			break
+		}
+	}
+	for i := range orig {
+		if spec.Transitions[i] != orig[i] {
+			t.Error("Canonical mutated its receiver")
+			break
+		}
+	}
+}
+
+// TestMinimizeOrderIndependent: minimization results are bit-identical
+// regardless of the order transitions were inserted in — the determinism
+// property content-addressed memoization relies on (a cache hit keyed on
+// the canonical spec must equal what the miss path would compute).
+func TestMinimizeOrderIndependent(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	compared := 0
+	for iter := 0; iter < 120; iter++ {
+		spec := randomSpec(r, 5, 4)
+		shuffled := Spec{N: spec.N, Transitions: append([]Transition(nil), spec.Transitions...)}
+		r.Shuffle(len(shuffled.Transitions), func(i, j int) {
+			shuffled.Transitions[i], shuffled.Transitions[j] = shuffled.Transitions[j], shuffled.Transitions[i]
+		})
+		for _, minimize := range []func(Spec) (Result, error){Minimize, MinimizeHeuristic} {
+			a, errA := minimize(spec)
+			b, errB := minimize(shuffled)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("iter %d: original err %v, shuffled err %v", iter, errA, errB)
+			}
+			if errA != nil {
+				if errA.Error() != errB.Error() {
+					t.Errorf("iter %d: error %q differs from shuffled %q", iter, errA, errB)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("iter %d: shuffled spec minimized differently\n got %+v\nwant %+v", iter, b, a)
+			}
+			compared++
+		}
+	}
+	if compared == 0 {
+		t.Fatal("no feasible random specs; generator is broken")
+	}
+}
+
+// TestMinimizeHeuristicRandomVerifies extends the exact-solver property
+// test to the heuristic path: every successful result must verify.
+func TestMinimizeHeuristicRandomVerifies(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	ok := 0
+	for iter := 0; iter < 100; iter++ {
+		spec := randomSpec(r, 5, 4)
+		res, err := MinimizeHeuristic(spec)
+		if err != nil {
+			continue
+		}
+		if verr := Verify(res, res.Cover); verr != nil {
+			t.Fatalf("iter %d: heuristic cover %s fails verification: %v", iter, res.Cover, verr)
+		}
+		ok++
+	}
+	if ok == 0 {
+		t.Fatal("no random spec was feasible; generator is broken")
 	}
 }

@@ -335,3 +335,22 @@ func (c Cube) Minterms(fn func(Cube) bool) {
 // Equal, except that distinct empty cubes may have distinct keys (normalize
 // with EmptyCube first if needed).
 func (c Cube) Key() [2]uint64 { return [2]uint64{c.zero, c.one} }
+
+// Raw exposes the positional bit masks of the cube (bit i of zero: variable
+// i may be 0; bit i of one: variable i may be 1) for bit-faithful hashing
+// and serialization. RawCube is the inverse.
+func (c Cube) Raw() (zero, one uint64) { return c.zero, c.one }
+
+// RawCube reconstructs a cube from the representation exposed by Raw. It
+// rejects out-of-range variable counts and masks with bits beyond the
+// variable count, so corrupt serialized cubes cannot round-trip.
+func RawCube(zero, one uint64, n int) (Cube, error) {
+	if n < 0 || n > MaxVars {
+		return Cube{}, fmt.Errorf("logic: variable count %d out of range [0,%d]", n, MaxVars)
+	}
+	m := maskN(n)
+	if zero&^m != 0 || one&^m != 0 {
+		return Cube{}, fmt.Errorf("logic: raw cube masks %#x/%#x exceed %d variables", zero, one, n)
+	}
+	return Cube{zero: zero, one: one, n: uint8(n)}, nil
+}

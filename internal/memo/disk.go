@@ -1,0 +1,215 @@
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+
+	"repro/internal/hfmin"
+	"repro/internal/logic"
+)
+
+// The persistent layer stores one JSON record per solved problem, named by
+// the hex of its key hash. Cubes are serialized as their raw positional
+// bit masks (logic.Cube.Raw), so a loaded Result is bit-identical to the
+// computed one. Records are strictly validated on load — wrong salt,
+// malformed JSON, out-of-range masks, arity mismatches — and any defect
+// demotes the lookup to a miss; the disk cache can cost a recompute but
+// never an incorrect result.
+
+type cubeRec struct {
+	Z uint64 `json:"z"`
+	O uint64 `json:"o"`
+}
+
+type privRec struct {
+	Trans cubeRec `json:"trans"`
+	Need  cubeRec `json:"need"`
+}
+
+type fileRec struct {
+	Salt       string    `json:"salt"`
+	N          int       `json:"n"`
+	Infeasible bool      `json:"infeasible,omitempty"`
+	Err        string    `json:"err,omitempty"`
+	Exact      bool      `json:"exact,omitempty"`
+	Cover      []cubeRec `json:"cover,omitempty"`
+	OnSet      []cubeRec `json:"on,omitempty"`
+	OffSet     []cubeRec `json:"off,omitempty"`
+	Required   []cubeRec `json:"required,omitempty"`
+	Privileged []privRec `json:"privileged,omitempty"`
+	Primes     []cubeRec `json:"primes,omitempty"`
+}
+
+// infeasibleErr reconstructs a persisted hfmin.ErrInfeasible outcome with
+// its original message, so errors.Is and error text behave exactly as on
+// the compute path.
+type infeasibleErr struct{ msg string }
+
+func (e *infeasibleErr) Error() string { return e.msg }
+func (e *infeasibleErr) Unwrap() error { return hfmin.ErrInfeasible }
+
+func (c *Cache) path(key [sha256.Size]byte) string {
+	return filepath.Join(c.dir, hex.EncodeToString(key[:])+".json")
+}
+
+// storeDisk persists a solved problem; failures are ignored (the cache is
+// an accelerator, not a store of record). Only clean results and
+// infeasibility verdicts are persisted — other errors indicate malformed
+// specs and are not worth a file.
+func (c *Cache) storeDisk(key [sha256.Size]byte, res hfmin.Result, err error) {
+	if c.dir == "" {
+		return
+	}
+	if err != nil && !errors.Is(err, hfmin.ErrInfeasible) {
+		return
+	}
+	// Analyze populates the care sets before minimize can fail, so the
+	// arity lives on OnSet even when Cover was never built (infeasible
+	// outcomes carry the zero Cover, which decodeResult reproduces).
+	rec := fileRec{
+		Salt:     Salt,
+		N:        res.OnSet.N,
+		Exact:    res.Exact,
+		Cover:    encCubes(res.Cover.Cubes),
+		OnSet:    encCubes(res.OnSet.Cubes),
+		OffSet:   encCubes(res.OffSet.Cubes),
+		Required: encCubes(res.Required),
+		Primes:   encCubes(res.Primes),
+	}
+	for _, pv := range res.Privileged {
+		rec.Privileged = append(rec.Privileged, privRec{Trans: encCube(pv.Trans), Need: encCube(pv.Need)})
+	}
+	if err != nil {
+		rec.Infeasible = true
+		rec.Err = err.Error()
+	}
+	data, merr := json.Marshal(rec)
+	if merr != nil {
+		return
+	}
+	// Write-then-rename keeps concurrent runs sharing a directory from
+	// observing torn records.
+	tmp, terr := os.CreateTemp(c.dir, "memo-*")
+	if terr != nil {
+		return
+	}
+	if _, werr := tmp.Write(data); werr != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if cerr := tmp.Close(); cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if rerr := os.Rename(tmp.Name(), c.path(key)); rerr != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// loadDisk retrieves a persisted record; ok is false on any miss, staleness
+// or corruption.
+func (c *Cache) loadDisk(key [sha256.Size]byte) (hfmin.Result, error, bool) {
+	if c.dir == "" {
+		return hfmin.Result{}, nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return hfmin.Result{}, nil, false
+	}
+	var rec fileRec
+	if json.Unmarshal(data, &rec) != nil || rec.Salt != Salt {
+		return hfmin.Result{}, nil, false
+	}
+	res, derr := decodeResult(rec)
+	if derr != nil {
+		return hfmin.Result{}, nil, false
+	}
+	if rec.Infeasible {
+		return res, &infeasibleErr{msg: rec.Err}, true
+	}
+	return res, nil, true
+}
+
+func decodeResult(rec fileRec) (hfmin.Result, error) {
+	res := hfmin.Result{Exact: rec.Exact}
+	var err error
+	if !rec.Infeasible {
+		if res.Cover, err = decCover(rec.Cover, rec.N); err != nil {
+			return res, err
+		}
+	}
+	if res.OnSet, err = decCover(rec.OnSet, rec.N); err != nil {
+		return res, err
+	}
+	if res.OffSet, err = decCover(rec.OffSet, rec.N); err != nil {
+		return res, err
+	}
+	if res.Required, err = decCubes(rec.Required, rec.N); err != nil {
+		return res, err
+	}
+	if res.Primes, err = decCubes(rec.Primes, rec.N); err != nil {
+		return res, err
+	}
+	for _, pv := range rec.Privileged {
+		tr, terr := decCube(pv.Trans, rec.N)
+		if terr != nil {
+			return res, terr
+		}
+		need, nerr := decCube(pv.Need, rec.N)
+		if nerr != nil {
+			return res, nerr
+		}
+		res.Privileged = append(res.Privileged, hfmin.Privileged{Trans: tr, Need: need})
+	}
+	return res, nil
+}
+
+func encCube(c logic.Cube) cubeRec {
+	z, o := c.Raw()
+	return cubeRec{Z: z, O: o}
+}
+
+func encCubes(cs []logic.Cube) []cubeRec {
+	if len(cs) == 0 {
+		return nil
+	}
+	out := make([]cubeRec, len(cs))
+	for i, c := range cs {
+		out[i] = encCube(c)
+	}
+	return out
+}
+
+func decCube(r cubeRec, n int) (logic.Cube, error) {
+	return logic.RawCube(r.Z, r.O, n)
+}
+
+// decCubes preserves nil-ness: an absent list decodes to a nil slice, so a
+// loaded Result is reflect.DeepEqual to the computed one.
+func decCubes(rs []cubeRec, n int) ([]logic.Cube, error) {
+	if len(rs) == 0 {
+		return nil, nil
+	}
+	out := make([]logic.Cube, len(rs))
+	for i, r := range rs {
+		c, err := decCube(r, n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+func decCover(rs []cubeRec, n int) (logic.Cover, error) {
+	cubes, err := decCubes(rs, n)
+	if err != nil {
+		return logic.Cover{}, err
+	}
+	return logic.Cover{N: n, Cubes: cubes}, nil
+}

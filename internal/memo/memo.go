@@ -1,0 +1,236 @@
+// Package memo is a content-addressed, concurrency-safe memoization layer
+// for hazard-free two-level minimization (internal/hfmin) — the stage PR 2's
+// instrumentation showed consuming 94–99% of pipeline wall time. The
+// synthesis flow re-solves the same minimization problems over and over:
+// the encoding ladder in internal/synth retries every function per attempt,
+// and the design-space exploration sweep re-synthesizes controllers whose
+// AFSMs are untouched by the ablated transform. This package turns those
+// repeats into cache hits.
+//
+// # Keys
+//
+// A problem is identified by the SHA-256 hash of the canonical form of its
+// hfmin.Spec (transitions sorted by the total order on (kind, start, end)
+// cube keys — see hfmin.Spec.Canonical) together with the exact/heuristic
+// solver flag and a package-version salt. Logically identical specs collide
+// regardless of construction order; bumping Salt when minimizer behaviour
+// changes invalidates every previously persisted entry.
+//
+// # In-memory cache and deduplication
+//
+// The in-memory cache is a sharded map. Lookups for a key being computed by
+// another goroutine block on that computation (singleflight semantics)
+// instead of duplicating it, so the concurrent workers of
+// par.NamedMap("hfmin", ...) solving the same spec pay it once. Cached
+// results are shared by value with their slices aliased — callers must
+// treat a returned Result as immutable, which the synthesis pipeline does.
+//
+// # Disk persistence
+//
+// With a cache directory configured (the CLI's -cache-dir flag), every
+// solved problem is written as one JSON record named by its key hash, and
+// misses consult the directory before computing. Records from other salts,
+// corrupt files and any read/decode error are silently treated as misses,
+// so a stale or damaged cache can never change results — at worst it stops
+// saving time. Infeasible outcomes (hfmin.ErrInfeasible) are cached and
+// persisted too: the strict rungs of the encoding ladder rediscover them
+// constantly.
+//
+// # Observability
+//
+// Each lookup outcome is published to the global obs registry — memo/hits,
+// memo/misses, memo/dedup-waits and memo/disk-hits — and mirrored in
+// Stats() for programmatic use. Because hfmin.Analyze canonicalizes
+// internally, a cache hit is bit-identical to what the miss path would have
+// computed; the memoized and unmemoized pipelines are asserted equal by
+// TestMemoEquivalence at the repo root.
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hfmin"
+	"repro/internal/obs"
+)
+
+// Salt versions the cache key space. Bump it whenever hfmin's observable
+// behaviour changes (covers, tie-breaks, cost weights, ...), so persisted
+// entries from older minimizers are ignored rather than replayed.
+const Salt = "memo-v1/hfmin-v1"
+
+// numShards bounds lock contention between concurrent hfmin workers; keys
+// are SHA-256 hashes, so the first byte shards uniformly.
+const numShards = 16
+
+// Stats is a snapshot of the cache's lookup counters.
+type Stats struct {
+	Hits       int64 // served from the in-memory map
+	Misses     int64 // computed (not found in memory or on disk)
+	DedupWaits int64 // blocked on another goroutine computing the same key
+	DiskHits   int64 // loaded from the persistent cache directory
+}
+
+// Cache memoizes hfmin.Minimize and hfmin.MinimizeHeuristic. The zero value
+// is not usable; call New. A nil *Cache is a valid pass-through that
+// memoizes nothing.
+type Cache struct {
+	dir    string // persistent cache directory; empty = in-memory only
+	shards [numShards]shard
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	dedupWaits atomic.Int64
+	diskHits   atomic.Int64
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[[sha256.Size]byte]*entry
+}
+
+// entry is one memoized computation. done is closed when res/err are
+// final; waiters block on it (singleflight).
+type entry struct {
+	done chan struct{}
+	res  hfmin.Result
+	err  error
+}
+
+// New returns a cache. A non-empty dir enables the persistent layer (the
+// directory is created if needed); the empty string selects in-memory-only
+// operation.
+func New(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("memo: cache dir: %w", err)
+		}
+	}
+	c := &Cache{dir: dir}
+	for i := range c.shards {
+		c.shards[i].m = map[[sha256.Size]byte]*entry{}
+	}
+	return c, nil
+}
+
+// Stats returns the current lookup counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		DedupWaits: c.dedupWaits.Load(),
+		DiskHits:   c.diskHits.Load(),
+	}
+}
+
+// Minimize is hfmin.Minimize behind the cache. It satisfies
+// synth.Minimizer.
+func (c *Cache) Minimize(spec hfmin.Spec) (hfmin.Result, error) {
+	if c == nil {
+		return hfmin.Minimize(spec)
+	}
+	return c.get(spec, true, hfmin.Minimize)
+}
+
+// MinimizeHeuristic is hfmin.MinimizeHeuristic behind the cache; the
+// exact/heuristic flag is part of the key, so the two solvers never share
+// entries.
+func (c *Cache) MinimizeHeuristic(spec hfmin.Spec) (hfmin.Result, error) {
+	if c == nil {
+		return hfmin.MinimizeHeuristic(spec)
+	}
+	return c.get(spec, false, hfmin.MinimizeHeuristic)
+}
+
+// Key returns the content-addressed cache key of (spec, exact): the
+// SHA-256 hash of the version salt, the solver flag and the canonical
+// transition list. Exported for tests and diagnostics.
+func Key(spec hfmin.Spec, exact bool) [sha256.Size]byte {
+	canon := spec.Canonical()
+	h := sha256.New()
+	h.Write([]byte(Salt))
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	flag := uint64(0)
+	if exact {
+		flag = 1
+	}
+	put(flag)
+	put(uint64(canon.N))
+	put(uint64(len(canon.Transitions)))
+	for _, t := range canon.Transitions {
+		put(uint64(t.Kind))
+		z, o := t.Start.Raw()
+		put(z)
+		put(o)
+		z, o = t.End.Raw()
+		put(z)
+		put(o)
+	}
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// get implements the lookup protocol: in-memory hit, singleflight wait,
+// disk hit, or compute-and-fill.
+func (c *Cache) get(spec hfmin.Spec, exact bool, solve func(hfmin.Spec) (hfmin.Result, error)) (hfmin.Result, error) {
+	key := Key(spec, exact)
+	sh := &c.shards[key[0]%numShards]
+	sh.mu.Lock()
+	if e, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		select {
+		case <-e.done:
+		default:
+			// Another worker is solving this exact problem right now;
+			// block on its result instead of duplicating the work.
+			c.dedupWaits.Add(1)
+			obs.Add("memo/dedup-waits", 1)
+			<-e.done
+		}
+		c.hits.Add(1)
+		obs.Add("memo/hits", 1)
+		return e.res, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	sh.m[key] = e
+	sh.mu.Unlock()
+
+	// The entry must be completed even if the solver panics, or waiters
+	// would block forever; the panic is re-raised for par's recovery.
+	completed := false
+	defer func() {
+		if !completed {
+			e.err = fmt.Errorf("memo: computation aborted")
+			close(e.done)
+		}
+	}()
+
+	if res, err, ok := c.loadDisk(key); ok {
+		c.diskHits.Add(1)
+		obs.Add("memo/disk-hits", 1)
+		e.res, e.err = res, err
+		completed = true
+		close(e.done)
+		return e.res, e.err
+	}
+
+	c.misses.Add(1)
+	obs.Add("memo/misses", 1)
+	e.res, e.err = solve(spec)
+	completed = true
+	close(e.done)
+	c.storeDisk(key, e.res, e.err)
+	return e.res, e.err
+}

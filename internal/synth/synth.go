@@ -47,6 +47,16 @@ type Result struct {
 	OutputFeedback bool
 }
 
+// Minimizer abstracts the exact hazard-free minimization entry point so a
+// memoization layer (internal/memo's *Cache) can be threaded through the
+// pipeline without this package depending on it. Implementations must be
+// safe for concurrent use and return results bit-identical to
+// hfmin.Minimize — the memo layer guarantees this via hfmin's canonical
+// transition order.
+type Minimizer interface {
+	Minimize(hfmin.Spec) (hfmin.Result, error)
+}
+
 // Synthesize produces two-level hazard-free logic for every output signal
 // and state bit of the machine, in the single-output style of the 3D tool,
 // and reports product/literal totals (the paper's Figure 13 metrics).
@@ -62,7 +72,15 @@ func Synthesize(m *bm.Machine) (*Result, error) {
 // minimized against the same immutable concretized machine and encoding,
 // and results are collected by function index, so the outcome is
 // bit-identical to the sequential path.
-func SynthesizeParallel(m *bm.Machine, workers int) (_ *Result, err error) {
+func SynthesizeParallel(m *bm.Machine, workers int) (*Result, error) {
+	return SynthesizeMemo(m, workers, nil)
+}
+
+// SynthesizeMemo is SynthesizeParallel with every exact minimization
+// routed through min (nil = call hfmin.Minimize directly). Because cache
+// hits are bit-identical to fresh computations, the result is the same at
+// every cache state; only the wall time changes.
+func SynthesizeMemo(m *bm.Machine, workers int, min Minimizer) (_ *Result, err error) {
 	sp := obs.Start("synth", m.Name)
 	defer func() { sp.EndErr(err) }()
 	c, err := Concretize(m)
@@ -98,8 +116,12 @@ func SynthesizeParallel(m *bm.Machine, workers int) (_ *Result, err error) {
 			continue // output feedback too wide to minimize exactly
 		}
 		if a.oneHot {
-			enc := oneHotEncoding(reach)
-			res, err := synthesizeWith(c, enc, len(reach), true, a.strict, a.feedback, workers)
+			enc, encErr := oneHotEncoding(reach)
+			if encErr != nil {
+				lastErr = encErr
+				continue
+			}
+			res, err := synthesizeWith(c, enc, len(reach), true, a.strict, a.feedback, workers, min)
 			if err == nil {
 				res.Controller = m.Name
 				recordSynth(res)
@@ -113,7 +135,7 @@ func SynthesizeParallel(m *bm.Machine, workers int) (_ *Result, err error) {
 			if enc == nil {
 				enc = sequentialEncoding(c, reach, bits)
 			}
-			res, err := synthesizeWith(c, enc, bits, false, a.strict, a.feedback, workers)
+			res, err := synthesizeWith(c, enc, bits, false, a.strict, a.feedback, workers, min)
 			if err == nil {
 				res.Controller = m.Name
 				recordSynth(res)
@@ -164,12 +186,19 @@ func sequentialEncoding(c *Concrete, reach []int, bits int) map[int]uint64 {
 	return enc
 }
 
-func oneHotEncoding(reach []int) map[int]uint64 {
+// oneHotEncoding assigns each reachable state its own bit of the 64-bit
+// code word. More than logic.MaxVars states cannot be one-hot encoded —
+// the shift would wrap and hand several states the same code — so that
+// case is an error and the encoding ladder skips this rung.
+func oneHotEncoding(reach []int) (map[int]uint64, error) {
+	if len(reach) > logic.MaxVars {
+		return nil, fmt.Errorf("synth: one-hot encoding of %d states exceeds the %d-bit code limit", len(reach), logic.MaxVars)
+	}
 	enc := map[int]uint64{}
 	for i, s := range reach {
 		enc[s] = 1 << uint(i)
 	}
-	return enc
+	return enc, nil
 }
 
 // synthesizeWith builds and minimizes every function under an encoding.
@@ -177,8 +206,9 @@ func oneHotEncoding(reach []int) map[int]uint64 {
 // rather than falling back to a (glitchy) plain cover. With feedback, the
 // outputs are fed back as additional state variables. The per-function
 // minimizations are independent (they only read the shared concretized
-// machine and encoding) and fan out across `workers` goroutines.
-func synthesizeWith(c *Concrete, enc map[int]uint64, bits int, oneHot, strict, feedback bool, workers int) (*Result, error) {
+// machine and encoding) and fan out across `workers` goroutines; exact
+// minimizations go through min when one is supplied.
+func synthesizeWith(c *Concrete, enc map[int]uint64, bits int, oneHot, strict, feedback bool, workers int, min Minimizer) (*Result, error) {
 	obs.Add("synth/attempts", 1)
 	vars, varIdx := variableOrder(c, bits, feedback)
 	n := len(vars)
@@ -202,11 +232,15 @@ func synthesizeWith(c *Concrete, enc map[int]uint64, bits int, oneHot, strict, f
 		fns = append(fns, fn{name: fmt.Sprintf("Y%d", b), ybit: b})
 	}
 
-	minimized, err := par.NamedMap("hfmin", workers, fns, func(_ int, f fn) (FuncResult, error) {
+	// The span ends with the closure's actual error outcome (named return),
+	// so failed minimizations are attributed in traces instead of reading
+	// as clean spans. The span's unit field identifies the controller and
+	// function; the counter stays a bounded per-stage aggregate so the
+	// metrics registry's cardinality does not grow with design size.
+	minimized, err := par.NamedMap("hfmin", workers, fns, func(_ int, f fn) (_ FuncResult, err error) {
 		fnSp := obs.Start("hfmin", c.Name+"."+f.name)
-		defer fnSp.End()
+		defer func() { fnSp.EndErr(err) }()
 		obs.Add("hfmin/minimizations", 1)
-		obs.Add("hfmin/"+c.Name+"/iterations", 1)
 		spec := hfmin.Spec{N: n}
 		for _, t := range c.Trans {
 			from := c.States[t.From]
@@ -266,7 +300,11 @@ func synthesizeWith(c *Concrete, enc map[int]uint64, bits int, oneHot, strict, f
 			}
 		}
 		hf := true
-		r, err := hfmin.Minimize(spec)
+		minimize := hfmin.Minimize
+		if min != nil {
+			minimize = min.Minimize
+		}
+		r, err := minimize(spec)
 		if errors.Is(err, hfmin.ErrInfeasible) && strict {
 			return FuncResult{}, fmt.Errorf("function %s: %w", f.name, err)
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/extract"
 	"repro/internal/hfmin"
 	"repro/internal/local"
+	"repro/internal/logic"
 	"repro/internal/transform"
 )
 
@@ -276,5 +277,30 @@ func TestVerilogDiffeqControllers(t *testing.T) {
 		if !strings.Contains(v, "module "+fu) || !strings.Contains(v, "endmodule") {
 			t.Errorf("%s: malformed netlist", fu)
 		}
+	}
+}
+
+func TestOneHotEncodingLimits(t *testing.T) {
+	reach := make([]int, logic.MaxVars)
+	for i := range reach {
+		reach[i] = i * 3
+	}
+	enc, err := oneHotEncoding(reach)
+	if err != nil {
+		t.Fatalf("%d states must encode: %v", len(reach), err)
+	}
+	seen := map[uint64]bool{}
+	for _, s := range reach {
+		code := enc[s]
+		if code == 0 || code&(code-1) != 0 {
+			t.Errorf("state %d code %#x is not one-hot", s, code)
+		}
+		if seen[code] {
+			t.Errorf("state %d reuses code %#x", s, code)
+		}
+		seen[code] = true
+	}
+	if _, err := oneHotEncoding(make([]int, logic.MaxVars+1)); err == nil {
+		t.Errorf("%d states silently wrapped instead of erroring", logic.MaxVars+1)
 	}
 }

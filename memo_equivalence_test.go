@@ -1,0 +1,127 @@
+// Equivalence tests for the hfmin memoization layer: the content-addressed
+// cache (internal/memo) must be a pure performance transform. Every cache
+// state — cold, warm in-memory, warm on-disk — must yield synthesis results
+// bit-identical to the unmemoized pipeline, and the all-miss path must not
+// slow the pipeline measurably.
+package repro_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diffeq"
+	"repro/internal/memo"
+	"repro/internal/synth"
+)
+
+// TestMemoEquivalence asserts that the memoized pipeline produces results
+// bit-identical to the unmemoized one on every benchmark, across all three
+// cache states, and that the warm passes actually hit.
+func TestMemoEquivalence(t *testing.T) {
+	for _, bench := range benches {
+		bench := bench
+		t.Run(bench.name, func(t *testing.T) {
+			logicAt := func(min synth.Minimizer) map[string]*synth.Result {
+				t.Helper()
+				opt := core.DefaultOptions()
+				opt.Minimizer = min
+				s, err := core.Run(bench.build(), opt)
+				if err != nil {
+					t.Fatalf("core.Run: %v", err)
+				}
+				results, err := s.SynthesizeLogic()
+				if err != nil {
+					t.Fatalf("SynthesizeLogic: %v", err)
+				}
+				return results
+			}
+			want := logicAt(nil)
+
+			dir := t.TempDir()
+			cold, err := memo.New(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compare := func(state string, got map[string]*synth.Result) {
+				t.Helper()
+				if !reflect.DeepEqual(got, want) {
+					for fu, w := range want {
+						if !reflect.DeepEqual(got[fu], w) {
+							t.Errorf("%s cache: %s synthesis result differs from unmemoized", state, fu)
+						}
+					}
+				}
+			}
+			compare("cold", logicAt(cold))
+			if st := cold.Stats(); st.Misses == 0 {
+				t.Error("cold pass recorded no misses; the cache was never consulted")
+			}
+
+			compare("warm", logicAt(cold))
+			if st := cold.Stats(); st.Hits == 0 {
+				t.Error("warm pass recorded no hits")
+			}
+
+			fresh, err := memo.New(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compare("disk", logicAt(fresh))
+			if st := fresh.Stats(); st.DiskHits == 0 {
+				t.Error("disk pass recorded no disk hits")
+			}
+			if st := fresh.Stats(); st.Misses != 0 {
+				t.Errorf("disk pass recorded %d misses; the persisted cache is incomplete", st.Misses)
+			}
+		})
+	}
+}
+
+// TestColdCacheOverheadGuard bounds the cost of an all-miss cache: hashing
+// every spec and consulting an empty in-memory map must add less than 5% to
+// the pipeline (the minimizer dominates so thoroughly that key computation
+// is noise). Mirrors the obs disabled-overhead guard: best of several tries
+// against run-to-run variance.
+func TestColdCacheOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive guard skipped in -short")
+	}
+	pipeline := func(min synth.Minimizer) {
+		opt := core.DefaultOptions()
+		opt.Minimizer = min
+		s, err := core.Run(diffeq.Build(diffeq.DefaultParams()), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.SynthesizeLogic(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const tries = 5
+	best := 1e9
+	for i := 0; i < tries; i++ {
+		base := testing.Benchmark(func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				pipeline(nil)
+			}
+		})
+		memoized := testing.Benchmark(func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				cache, err := memo.New("") // fresh per run: every lookup misses
+				if err != nil {
+					b.Fatal(err)
+				}
+				pipeline(cache)
+			}
+		})
+		ratio := float64(memoized.NsPerOp()) / float64(base.NsPerOp())
+		if ratio < best {
+			best = ratio
+		}
+		if best < 1.05 {
+			return
+		}
+	}
+	t.Errorf("cold-cache overhead %.1f%% exceeds the 5%% budget", (best-1)*100)
+}

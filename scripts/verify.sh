@@ -14,4 +14,8 @@ echo "== checkdoc (package docs present)"
 go run ./scripts/checkdoc
 echo "== go test -race"
 go test -race ./...
+echo "== memo equivalence (cached pipeline bit-identical to uncached)"
+go test -race -run 'TestMemoEquivalence' -count=1 .
+echo "== cold-cache overhead guard (<5% on the all-miss path)"
+go test -run 'TestColdCacheOverheadGuard' -count=1 .
 echo "== verify: OK"
