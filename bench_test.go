@@ -10,12 +10,18 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/cdfg"
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/diffeq"
 	"repro/internal/explore"
@@ -24,6 +30,7 @@ import (
 	"repro/internal/gcd"
 	"repro/internal/local"
 	"repro/internal/memo"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/synth"
 	"repro/internal/timing"
@@ -599,4 +606,79 @@ func BenchmarkExploreSweepSynthMemoized(b *testing.B) {
 	}
 	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	b.ReportMetric(base/perOp, "speedup")
+}
+
+// --- Synthesis-as-a-service: job-server throughput -------------------------
+//
+// BenchmarkServerThroughput drives an in-process asyncsynthd job server
+// (internal/service.Manager behind its real HTTP handler) with batches of
+// concurrent DIFFEQ jobs over a warm shared memo cache — the steady-state
+// serving scenario. Reported metrics: completed jobs per second and the
+// memo hit count accumulated across the batch.
+func BenchmarkServerThroughput(b *testing.B) {
+	const jobs = 8
+	cache, err := memo.New("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr := service.New(service.Config{
+		QueueDepth:  jobs,
+		Concurrency: 4,
+		Minimizer:   cache,
+	})
+	defer mgr.Close()
+	srv := httptest.NewServer(mgr.Handler())
+	defer srv.Close()
+	graph, err := codec.EncodeGraph(diffeq.Build(diffeq.DefaultParams()))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	submit := func() string {
+		b.Helper()
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(graph))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st struct {
+			ID string `json:"id"`
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			body, _ := io.ReadAll(resp.Body)
+			b.Fatalf("submit: %d %s", resp.StatusCode, body)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			b.Fatal(err)
+		}
+		return st.ID
+	}
+	wait := func(id string) {
+		b.Helper()
+		job, err := mgr.Get(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-job.Done()
+		if s := job.State(); s != service.StateDone {
+			b.Fatalf("job %s ended %v: %v", id, s, job.Err())
+		}
+	}
+	wait(submit()) // warm the memo cache before timing
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids := make([]string, jobs)
+		for j := range ids {
+			ids[j] = submit()
+		}
+		for _, id := range ids {
+			wait(id)
+		}
+	}
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*jobs)/elapsed, "jobs/s")
+	}
+	b.ReportMetric(float64(cache.Stats().Hits), "memo-hits")
 }

@@ -13,6 +13,8 @@
 //	asyncsynth simulate [bench]    run the controller-level simulation
 //	asyncsynth explore [bench]     design-space exploration sweep
 //	asyncsynth dot cdfg|afsm [bench] [-level L]   Graphviz output
+//	asyncsynth export [bench]      print the CDFG as interchange JSON
+//	asyncsynth synthdoc [bench]    print the synthesis result document
 //
 // The global -j N flag bounds the worker pool used for per-controller
 // synthesis, per-output minimization and exploration sweeps (0 = all
@@ -46,6 +48,7 @@ import (
 	"os"
 
 	"repro/internal/cdfg"
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/diffeq"
 	"repro/internal/explore"
@@ -81,6 +84,11 @@ func main() { os.Exit(run()) }
 func run() int {
 	flag.Usage = usage
 	flag.Parse()
+	if *jWorkers < 0 {
+		fmt.Fprintf(os.Stderr, "asyncsynth: invalid -j %d (must be >= 0)\n", *jWorkers)
+		usage()
+		return 2
+	}
 	if flag.NArg() < 1 {
 		usage()
 		return 2
@@ -122,7 +130,12 @@ func run() int {
 		err = gates(args)
 	case "dot":
 		err = dot(args)
+	case "export":
+		err = doExport(args)
+	case "synthdoc":
+		err = synthdoc(args)
 	default:
+		fmt.Fprintf(os.Stderr, "asyncsynth: unknown command %q\n", cmd)
 		usage()
 		return 2
 	}
@@ -206,6 +219,10 @@ commands:
   synth [bench]             gate-level synthesis, per-function logic
   verilog [bench]           structural Verilog netlists of the controllers
   gates [bench]             simulate the synthesized logic as gates
+  export [bench]            print the CDFG as interchange JSON (the
+                            document asyncsynthd's POST /v1/jobs accepts)
+  synthdoc [bench]          run the flow locally, print the synthesis
+                            result document asyncsynthd would serve
   dot cdfg|afsm|channels [bench]  Graphviz output (after full optimization)
 
 benchmarks: diffeq (default), gcd, fir`)
@@ -495,6 +512,46 @@ func verilog(args []string) error {
 		fmt.Println(v)
 	}
 	return nil
+}
+
+// doExport prints a benchmark's CDFG as the versioned interchange JSON —
+// the exact document asyncsynthd's POST /v1/jobs accepts.
+func doExport(args []string) error {
+	g, _, _, err := buildBench(benchArg(args))
+	if err != nil {
+		return err
+	}
+	data, err := codec.EncodeGraph(g)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
+// synthdoc runs the full pipeline locally and prints the synthesis result
+// document — byte-identical to what asyncsynthd serves from
+// GET /v1/jobs/{id}/result for the same graph, which is what the server
+// smoke test in scripts/verify.sh asserts.
+func synthdoc(args []string) error {
+	g, _, _, err := buildBench(benchArg(args))
+	if err != nil {
+		return err
+	}
+	s, err := core.Run(g, defaultOpts())
+	if err != nil {
+		return err
+	}
+	results, err := s.SynthesizeLogic()
+	if err != nil {
+		return err
+	}
+	data, err := codec.EncodeSynthesis(s, results)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
 }
 
 func dot(args []string) error {

@@ -1,0 +1,132 @@
+// Command asyncsynthd serves the synthesis pipeline as a long-running
+// HTTP job server (synthesis-as-a-service).
+//
+// Usage:
+//
+//	asyncsynthd [-addr host:port] [-queue-depth N] [-concurrency N]
+//	            [-j N] [-job-timeout D] [-drain-timeout D]
+//	            [-cache-dir dir] [-no-cache]
+//
+// API:
+//
+//	POST   /v1/jobs              submit an interchange CDFG document
+//	                             (asyncsynth export emits one); optional
+//	                             ?level= selects the optimization level
+//	GET    /v1/jobs/{id}         poll job state (result embedded when done)
+//	GET    /v1/jobs/{id}/result  the synthesis document, byte-for-byte
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /healthz              liveness (503 while draining)
+//	GET    /metrics              Prometheus text exposition of the obs
+//	                             registry (stage timings, memo hit rates,
+//	                             queue/pool gauges)
+//
+// Submissions beyond -queue-depth are rejected immediately with 429 —
+// backpressure is applied at admission, never by queueing unbounded work.
+// All jobs share one hazard-free-minimization memo cache and divide the
+// -j worker budget across -concurrency runners. On SIGINT/SIGTERM the
+// daemon stops admitting, finishes queued and running jobs (bounded by
+// -drain-timeout, then force-cancels), and exits.
+//
+// The daemon prints "listening on http://ADDR" on stdout once the socket
+// is bound; with -addr 127.0.0.1:0 the kernel picks a free port and
+// scripts parse it from that line (see scripts/verify.sh).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/memo"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/synth"
+)
+
+var (
+	addr         = flag.String("addr", "127.0.0.1:8337", "listen address (use :0 for a kernel-assigned port)")
+	queueDepth   = flag.Int("queue-depth", 16, "max jobs waiting for a runner; submissions beyond it get 429")
+	concurrency  = flag.Int("concurrency", 2, "jobs running simultaneously")
+	jWorkers     = flag.Int("j", 0, "total pipeline worker budget shared by the runners (0 = all CPUs)")
+	jobTimeout   = flag.Duration("job-timeout", 0, "per-job deadline (0 = none)")
+	drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for in-flight jobs before force-cancelling")
+	cacheDir     = flag.String("cache-dir", "", "persist hazard-free minimization results under this directory")
+	noCache      = flag.Bool("no-cache", false, "disable the shared minimization memo cache")
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "asyncsynthd: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		return 2
+	}
+	if *jWorkers < 0 || *queueDepth < 0 || *concurrency < 0 {
+		fmt.Fprintln(os.Stderr, "asyncsynthd: -j, -queue-depth and -concurrency must be >= 0")
+		flag.Usage()
+		return 2
+	}
+
+	// The metrics registry is always on — /metrics is part of the API.
+	obs.SetMetrics(obs.NewMetrics())
+
+	var minimizer synth.Minimizer
+	if !*noCache {
+		cache, err := memo.New(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asyncsynthd:", err)
+			return 1
+		}
+		minimizer = cache
+	}
+	mgr := service.New(service.Config{
+		QueueDepth:  *queueDepth,
+		Concurrency: *concurrency,
+		Parallelism: *jWorkers,
+		JobTimeout:  *jobTimeout,
+		Minimizer:   minimizer,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asyncsynthd:", err)
+		return 1
+	}
+	fmt.Printf("listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: mgr.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "asyncsynthd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: refuse new jobs, finish admitted ones, then close
+	// the listener. Polls keep working while jobs drain.
+	fmt.Println("draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := mgr.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "asyncsynthd: drain:", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "asyncsynthd: shutdown:", err)
+		return 1
+	}
+	fmt.Println("drained")
+	return 0
+}

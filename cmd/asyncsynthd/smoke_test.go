@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServerSmoke is the end-to-end smoke test scripts/verify.sh runs:
+// build the real binaries, start the daemon on a kernel-assigned port,
+// submit the DIFFEQ CDFG over HTTP, poll the job to completion, assert
+// the served synthesis document (netlists included) is bit-identical to
+// a direct local run, and shut the daemon down gracefully with SIGTERM.
+func TestServerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs binaries")
+	}
+	dir := t.TempDir()
+	daemon := filepath.Join(dir, "asyncsynthd")
+	cli := filepath.Join(dir, "asyncsynth")
+	for bin, pkg := range map[string]string{daemon: "repro/cmd/asyncsynthd", cli: "repro/cmd/asyncsynth"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	graph, err := exec.Command(cli, "export", "diffeq").Output()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	want, err := exec.Command(cli, "synthdoc", "diffeq").Output()
+	if err != nil {
+		t.Fatalf("synthdoc: %v", err)
+	}
+
+	srv := exec.Command(daemon, "-addr", "127.0.0.1:0", "-concurrency", "2")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = srv.Stdout
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	// The daemon announces its bound address on the first stdout line.
+	sc := bufio.NewScanner(stdout)
+	base := ""
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+			base = rest
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never announced its address: %v", sc.Err())
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(graph))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for st.State != "done" {
+		if st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("job reached %s: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+		resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, st.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("poll: %v (%s)", err, body)
+		}
+	}
+
+	resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s/result", base, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(served, want) {
+		t.Fatal("served synthesis document is not bit-identical to the direct run")
+	}
+
+	// /metrics exposes the service counters.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), `asyncsynth_counter_total{name="service/jobs_completed"} 1`) {
+		t.Fatalf("metrics missing completion counter:\n%s", metrics)
+	}
+
+	// Graceful shutdown: SIGTERM drains and exits 0.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

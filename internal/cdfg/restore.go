@@ -1,0 +1,60 @@
+package cdfg
+
+import "fmt"
+
+// This file is the reconstruction seam used by the interchange codec
+// (internal/codec): graphs decoded from JSON must come back with exactly
+// the node, arc and block IDs they were encoded with, which AddNode and
+// AddArc (which assign the next free ID and coalesce duplicate arcs)
+// cannot do.
+
+// NewEmptyGraph returns a graph shell with no nodes, arcs or blocks.
+// Unlike NewGraph it creates neither the START/END pair nor the top-level
+// block; the caller restores every part explicitly with RestoreBlock,
+// RestoreNode and RestoreArc, then sets Start and End.
+func NewEmptyGraph(name string, fus []string) *Graph {
+	return &Graph{
+		Name:   name,
+		nodes:  map[NodeID]*Node{},
+		arcs:   map[ArcID]*Arc{},
+		FUs:    append([]string(nil), fus...),
+		Consts: map[string]bool{},
+	}
+}
+
+// RestoreBlock appends a block under its explicit ID. Blocks index the
+// Blocks slice by ID, so they must be restored in ID order starting at 0.
+func (g *Graph) RestoreBlock(b *Block) error {
+	if b.ID != len(g.Blocks) {
+		return fmt.Errorf("cdfg: restore block %d out of order (next is %d)", b.ID, len(g.Blocks))
+	}
+	g.Blocks = append(g.Blocks, b)
+	return nil
+}
+
+// RestoreNode inserts a node under its explicit ID. It does not touch any
+// block's node list (the codec restores Block.Nodes verbatim) and advances
+// the ID counter past the restored ID so later AddNode calls never collide.
+func (g *Graph) RestoreNode(n *Node) error {
+	if _, ok := g.nodes[n.ID]; ok {
+		return fmt.Errorf("cdfg: restore node %d: duplicate ID", n.ID)
+	}
+	g.nodes[n.ID] = n
+	if n.ID >= g.nextN {
+		g.nextN = n.ID + 1
+	}
+	return nil
+}
+
+// RestoreArc inserts an arc under its explicit ID, without the duplicate
+// coalescing AddArc applies, and advances the arc ID counter likewise.
+func (g *Graph) RestoreArc(a *Arc) error {
+	if _, ok := g.arcs[a.ID]; ok {
+		return fmt.Errorf("cdfg: restore arc %d: duplicate ID", a.ID)
+	}
+	g.arcs[a.ID] = a
+	if a.ID >= g.nextA {
+		g.nextA = a.ID + 1
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/diffeq"
+	"repro/internal/fir"
+	"repro/internal/gcd"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// benches returns the three built-in benchmarks the golden fixtures are
+// generated from.
+func benches() map[string]*cdfg.Graph {
+	return map[string]*cdfg.Graph{
+		"diffeq": diffeq.Build(diffeq.DefaultParams()),
+		"gcd":    gcd.Build(123, 45),
+		"fir":    fir.Build(fir.DefaultParams()),
+	}
+}
+
+// TestGoldenRoundTrip pins the interchange encoding of every built-in
+// benchmark to a golden file and asserts the full round trip: encode →
+// golden equality → decode → re-encode byte equality → structural
+// equality of the reconstructed graph.
+func TestGoldenRoundTrip(t *testing.T) {
+	for name, g := range benches() {
+		t.Run(name, func(t *testing.T) {
+			enc, err := EncodeGraph(g)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			golden := filepath.Join("testdata", name+".json")
+			if *update {
+				if err := os.WriteFile(golden, enc, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("golden: %v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(enc, want) {
+				t.Fatalf("encoding of %s diverged from golden %s (run with -update if intentional)", name, golden)
+			}
+			g2, err := DecodeGraph(enc)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			enc2, err := EncodeGraph(g2)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(enc, enc2) {
+				t.Fatal("decode→encode is not the identity")
+			}
+			if g.String() != g2.String() {
+				t.Fatal("reconstructed graph differs structurally from the original")
+			}
+		})
+	}
+}
+
+// TestDecodedGraphRunsPipeline asserts a decoded graph is a full-fidelity
+// pipeline input: the synthesis flow over the decoded DIFFEQ produces the
+// same Figure 12 metrics as the directly built graph.
+func TestDecodedGraphRunsPipeline(t *testing.T) {
+	direct, err := core.Run(diffeq.Build(diffeq.DefaultParams()), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeGraph(diffeq.Build(diffeq.DefaultParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := DecodeGraph(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := core.Run(g, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("pipeline on decoded graph: %v", err)
+	}
+	if direct.Channels() != decoded.Channels() {
+		t.Fatalf("channels: direct %d, decoded %d", direct.Channels(), decoded.Channels())
+	}
+	ds, es := direct.StateCounts(), decoded.StateCounts()
+	for fu, want := range ds {
+		if es[fu] != want {
+			t.Fatalf("%s states/transitions: direct %v, decoded %v", fu, want, es[fu])
+		}
+	}
+}
+
+// mutate applies a textual mutation to the valid DIFFEQ document.
+func validDoc(t *testing.T) []byte {
+	t.Helper()
+	enc, err := EncodeGraph(diffeq.Build(diffeq.DefaultParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// TestDecodeRejectsMalformed exercises the strict-validation surface:
+// every malformed document yields a typed *Error mentioning the offending
+// location, and never a panic.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid := validDoc(t)
+	cases := []struct {
+		name    string
+		input   func() []byte
+		wantSub string
+	}{
+		{"empty", func() []byte { return nil }, "invalid JSON"},
+		{"truncated", func() []byte { return valid[:len(valid)/2] }, "invalid JSON"},
+		{"not-json", func() []byte { return []byte("hello") }, "invalid JSON"},
+		{"bad-version", func() []byte {
+			return bytes.Replace(valid, []byte(`"version": 1`), []byte(`"version": 99`), 1)
+		}, "unsupported version"},
+		{"bad-kind", func() []byte {
+			return bytes.Replace(valid, []byte(`"kind": "cdfg"`), []byte(`"kind": "netlist"`), 1)
+		}, "unexpected kind"},
+		{"unknown-field", func() []byte {
+			return bytes.Replace(valid, []byte(`"version": 1`), []byte(`"version": 1, "extra": true`), 1)
+		}, "invalid JSON"},
+		{"bad-node-kind", func() []byte {
+			return bytes.Replace(valid, []byte(`"kind": "start"`), []byte(`"kind": "begin"`), 1)
+		}, "unknown node kind"},
+		{"bad-arc-kind", func() []byte {
+			return bytes.Replace(valid, []byte(`"kind": "control"`), []byte(`"kind": "wire"`), 1)
+		}, "unknown arc kind"},
+		{"bad-op", func() []byte {
+			return bytes.Replace(valid, []byte(`"op": "*"`), []byte(`"op": "xor"`), 1)
+		}, "unknown operation"},
+		{"dangling-arc", func() []byte {
+			return bytes.Replace(valid, []byte(`"from": 0`), []byte(`"from": 9999`), 1)
+		}, "dangling node ID"},
+		{"bad-loop-context", func() []byte {
+			// Point a loop block's root at a nonexistent node.
+			return bytes.Replace(valid, []byte(`"kind": "loop",
+      "root": `), []byte(`"kind": "loop",
+      "root": 4242, "_r": `), 1)
+		}, ""},
+		{"no-blocks", func() []byte {
+			return []byte(`{"version":1,"kind":"cdfg","name":"x","fus":["A"],"start":0,"end":1,"blocks":[],"nodes":[],"arcs":[]}`)
+		}, "no blocks"},
+		{"no-fus", func() []byte {
+			return []byte(`{"version":1,"kind":"cdfg","name":"x","fus":[],"start":0,"end":1,"blocks":[],"nodes":[],"arcs":[]}`)
+		}, "no functional units"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeGraph(tc.input())
+			if err == nil {
+				t.Fatal("decode accepted malformed input")
+			}
+			var ce *Error
+			if !errors.As(err, &ce) {
+				t.Fatalf("error is %T, want *codec.Error: %v", err, err)
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestSynthesisDocRoundTrip encodes a full gate-level DIFFEQ synthesis
+// and round-trips the document.
+func TestSynthesisDocRoundTrip(t *testing.T) {
+	s, err := core.Run(diffeq.Build(diffeq.DefaultParams()), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.SynthesizeLogic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeSynthesis(s, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := DecodeSynthesis(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "diffeq" || doc.Level != core.OptimizedGTLT.String() {
+		t.Fatalf("header mismatch: %q %q", doc.Name, doc.Level)
+	}
+	if len(doc.Controllers) != len(diffeq.FUs) {
+		t.Fatalf("controllers: got %d, want %d", len(doc.Controllers), len(diffeq.FUs))
+	}
+	totP := 0
+	for _, c := range doc.Controllers {
+		if c.Netlist == "" {
+			t.Fatalf("%s: missing netlist", c.FU)
+		}
+		if len(c.AFSM.Transitions) == 0 {
+			t.Fatalf("%s: empty AFSM", c.FU)
+		}
+		totP += c.Products
+	}
+	if totP != doc.TotalProducts {
+		t.Fatalf("total products %d != sum %d", doc.TotalProducts, totP)
+	}
+	// Determinism: a second encode of the same synthesis is byte-identical.
+	enc2, err := EncodeSynthesis(s, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("synthesis encoding is not deterministic")
+	}
+}

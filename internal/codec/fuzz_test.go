@@ -1,0 +1,54 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/diffeq"
+	"repro/internal/gcd"
+)
+
+// FuzzDecodeGraph hammers the strict decoder with arbitrary bytes. The
+// contract under fuzzing: DecodeGraph never panics, and every rejection
+// is a typed *Error. Accepted inputs must survive a re-encode (the
+// decoder may not hand the pipeline a graph the encoder cannot render).
+func FuzzDecodeGraph(f *testing.F) {
+	valid, err := EncodeGraph(diffeq.Build(diffeq.DefaultParams()))
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid2, err := EncodeGraph(gcd.Build(123, 45))
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := [][]byte{
+		valid,
+		valid2,
+		{},
+		[]byte("hello"),
+		valid[:len(valid)/3],                                                  // truncated mid-document
+		bytes.Replace(valid, []byte(`"from": 0`), []byte(`"from": 9999`), 1),  // dangling arc endpoint
+		bytes.Replace(valid, []byte(`"kind": "loop"`), []byte(`"kind": "if"`), 1), // broken loop context
+		bytes.Replace(valid, []byte(`"version": 1`), []byte(`"version": 2`), 1),
+		bytes.Replace(valid, []byte(`"op": "*"`), []byte(`"op": "nand"`), 1),
+		bytes.Replace(valid, []byte(`"root"`), []byte(`"loot"`), 1), // unknown field
+		[]byte(`{"version":1,"kind":"cdfg","name":"x","fus":["A"],"start":0,"end":0,"blocks":[{"id":0,"kind":"top","nodes":[0]}],"nodes":[{"id":0,"kind":"start","block":0}],"arcs":[]}`),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := DecodeGraph(data)
+		if err != nil {
+			var ce *Error
+			if !errors.As(err, &ce) {
+				t.Fatalf("decode error is %T, want *codec.Error: %v", err, err)
+			}
+			return
+		}
+		if _, err := EncodeGraph(g); err != nil {
+			t.Fatalf("accepted input cannot be re-encoded: %v", err)
+		}
+	})
+}

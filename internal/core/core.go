@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -114,9 +115,22 @@ func (s *Synthesis) FUs() []string {
 // level) with per-phase child spans, so `asyncsynth -metrics`/-trace see
 // the complete cascade: GT1–GT5 (inside transform.OptimizeGT), extraction,
 // and the per-controller LT fan-out.
-func Run(g *cdfg.Graph, opt Options) (_ *Synthesis, err error) {
+func Run(g *cdfg.Graph, opt Options) (*Synthesis, error) {
+	return RunCtx(context.Background(), g, opt)
+}
+
+// RunCtx is Run with cooperative cancellation: ctx is checked at every
+// stage boundary (before the global transforms, before extraction, before
+// the LT fan-out) and threaded through the worker pool, so a cancelled or
+// deadline-exceeded run — a cancelled service job, typically — stops
+// between stages and releases its pool workers instead of completing the
+// pipeline. A cancelled run returns ctx.Err().
+func RunCtx(ctx context.Context, g *cdfg.Graph, opt Options) (_ *Synthesis, err error) {
 	sp := obs.Start("run", opt.Level.String())
 	defer func() { sp.EndErr(err) }()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opt.Timing.DefaultOp.Max == 0 && len(opt.Timing.FUOp) == 0 {
 		opt.Timing = timing.DefaultModel()
 	}
@@ -150,6 +164,9 @@ func Run(g *cdfg.Graph, opt Options) (_ *Synthesis, err error) {
 		s.Plan = plan
 		s.GTReports = reports
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	exSp := obs.Start("extract", "")
 	res, err := extract.Extract(g, s.Plan, exOpt)
 	exSp.EndErr(err)
@@ -170,7 +187,7 @@ func Run(g *cdfg.Graph, opt Options) (_ *Synthesis, err error) {
 		// Reports land in index-addressed slots over the sorted FU list,
 		// keeping results and error attribution deterministic.
 		fus := s.FUs()
-		reps, err := par.NamedMap("lt", opt.Parallelism, fus, func(_ int, fu string) (*local.Report, error) {
+		reps, err := par.NamedMapCtx(ctx, "lt", opt.Parallelism, fus, func(_ context.Context, _ int, fu string) (*local.Report, error) {
 			rep, err := local.Optimize(s.Machines[fu])
 			if err != nil {
 				return nil, fmt.Errorf("core: local transforms on %s: %w", fu, err)
@@ -209,9 +226,17 @@ func (s *Synthesis) StateCounts() map[string][2]int {
 // Parallelism-bounded worker pool (each synthesis in turn parallelizes
 // its per-output minimizations on the same bound).
 func (s *Synthesis) SynthesizeLogic() (map[string]*synth.Result, error) {
+	return s.SynthesizeLogicCtx(context.Background())
+}
+
+// SynthesizeLogicCtx is SynthesizeLogic with cooperative cancellation:
+// ctx flows into every per-controller synthesis and from there into the
+// per-output minimizations, which check it between encoding-ladder rungs
+// and covering iterations. A cancelled synthesis returns ctx.Err().
+func (s *Synthesis) SynthesizeLogicCtx(ctx context.Context) (map[string]*synth.Result, error) {
 	fus := s.FUs()
-	results, err := par.NamedMap("synth", s.Parallelism, fus, func(_ int, fu string) (*synth.Result, error) {
-		r, err := synth.SynthesizeMemo(s.Machines[fu], s.Parallelism, s.Minimizer)
+	results, err := par.NamedMapCtx(ctx, "synth", s.Parallelism, fus, func(ctx context.Context, _ int, fu string) (*synth.Result, error) {
+		r, err := synth.SynthesizeCtx(ctx, s.Machines[fu], s.Parallelism, s.Minimizer)
 		if err != nil {
 			return nil, fmt.Errorf("core: synthesis of %s: %w", fu, err)
 		}

@@ -26,6 +26,7 @@
 package hfmin
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -267,7 +268,7 @@ var ErrInfeasible = errors.New("hfmin: specification has no hazard-free cover")
 // two-level cover of the specification, using exact branch-and-bound
 // covering.
 func Minimize(spec Spec) (Result, error) {
-	return minimize(spec, true)
+	return minimize(context.Background(), spec, true)
 }
 
 // MinimizeHeuristic computes a hazard-free cover using only the greedy
@@ -275,10 +276,26 @@ func Minimize(spec Spec) (Result, error) {
 // products. It mirrors the fast-heuristic mode of the Theobald–Nowick
 // minimizer the paper's tool chain uses.
 func MinimizeHeuristic(spec Spec) (Result, error) {
-	return minimize(spec, false)
+	return minimize(context.Background(), spec, false)
 }
 
-func minimize(spec Spec, exact bool) (Result, error) {
+// MinimizeCtx is Minimize with cooperative cancellation: the context is
+// checked between the minimization phases (analysis, dhf-prime
+// generation, covering) and between branch-and-bound iterations of the
+// covering search, so a cancelled synthesis job abandons even a large
+// minimization promptly. A cancelled call returns ctx.Err(); partial
+// results are discarded, never cached (see internal/memo).
+func MinimizeCtx(ctx context.Context, spec Spec) (Result, error) {
+	return minimize(ctx, spec, true)
+}
+
+// MinimizeHeuristicCtx is MinimizeHeuristic with the cancellation
+// behaviour of MinimizeCtx.
+func MinimizeHeuristicCtx(ctx context.Context, spec Spec) (Result, error) {
+	return minimize(ctx, spec, false)
+}
+
+func minimize(ctx context.Context, spec Spec, exact bool) (Result, error) {
 	res, err := Analyze(spec)
 	if err != nil {
 		return res, err
@@ -288,10 +305,16 @@ func minimize(spec Spec, exact bool) (Result, error) {
 		res.Exact = true
 		return res, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	res.Primes = dhfPrimes(res.Required, res.OffSet, res.Privileged)
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	// Build the covering problem: every required cube needs one containing
 	// dhf-prime.
-	prob := &logic.CoveringProblem{NumCols: len(res.Primes)}
+	prob := &logic.CoveringProblem{NumCols: len(res.Primes), Cancel: ctx.Err}
 	prob.Cost = make([]int, len(res.Primes))
 	const productWeight = 1 << 12 // lexicographic: products dominate literals
 	for i, p := range res.Primes {
@@ -316,6 +339,11 @@ func minimize(spec Spec, exact bool) (Result, error) {
 	} else {
 		cols = prob.SolveGreedy()
 		res.Exact = false
+	}
+	// A cancelled covering search returns its fallback solution; discard
+	// it — a cancelled job must not observe (or cache) partial answers.
+	if err := ctx.Err(); err != nil {
+		return res, err
 	}
 	if cols == nil {
 		return res, ErrInfeasible

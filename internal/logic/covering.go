@@ -8,7 +8,16 @@ type CoveringProblem struct {
 	NumCols int
 	Rows    [][]int // each row lists the columns that cover it
 	Cost    []int   // per-column cost; nil means unit cost
+	// Cancel, when non-nil, is polled between branch-and-bound iterations
+	// (every cancelCheckInterval steps); a non-nil return abandons the
+	// search as if the step budget were exhausted. Callers pass a
+	// context's Err method to make long covering searches cancellable.
+	Cancel func() error
 }
+
+// cancelCheckInterval bounds how often Solve polls Cancel; checking every
+// step would put an atomic context load on the hot branch-and-bound path.
+const cancelCheckInterval = 1024
 
 // CoveringBudget bounds the branch-and-bound search; when exceeded the
 // solver falls back to the greedy solution found so far.
@@ -64,6 +73,11 @@ func (p *CoveringProblem) Solve() (cols []int, exact bool) {
 		steps++
 		if steps > CoveringBudget {
 			exact = false
+			return
+		}
+		if p.Cancel != nil && steps%cancelCheckInterval == 0 && p.Cancel() != nil {
+			exact = false
+			steps = CoveringBudget + 1 // unwind the whole search like a blown budget
 			return
 		}
 		if acc >= bestCost {

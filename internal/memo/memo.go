@@ -47,8 +47,10 @@
 package memo
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -94,11 +96,15 @@ type shard struct {
 }
 
 // entry is one memoized computation. done is closed when res/err are
-// final; waiters block on it (singleflight).
+// final; waiters block on it (singleflight). aborted marks an entry whose
+// computation was cancelled (context error) or panicked before a result
+// existed: the entry has been removed from the map and waiters retry or
+// solve themselves rather than inheriting the aborted job's error.
 type entry struct {
-	done chan struct{}
-	res  hfmin.Result
-	err  error
+	done    chan struct{}
+	res     hfmin.Result
+	err     error
+	aborted bool
 }
 
 // New returns a cache. A non-empty dir enables the persistent layer (the
@@ -133,10 +139,20 @@ func (c *Cache) Stats() Stats {
 // Minimize is hfmin.Minimize behind the cache. It satisfies
 // synth.Minimizer.
 func (c *Cache) Minimize(spec hfmin.Spec) (hfmin.Result, error) {
+	return c.MinimizeCtx(context.Background(), spec)
+}
+
+// MinimizeCtx is Minimize with cooperative cancellation; it satisfies
+// synth.MinimizerCtx. A lookup that dedup-waits on another goroutine's
+// computation stops waiting when ctx ends (the computing job keeps its
+// own context); a computation cancelled mid-solve is discarded and its
+// key vacated, never cached, so concurrent jobs sharing the cache cannot
+// observe one another's cancellations as results.
+func (c *Cache) MinimizeCtx(ctx context.Context, spec hfmin.Spec) (hfmin.Result, error) {
 	if c == nil {
-		return hfmin.Minimize(spec)
+		return hfmin.MinimizeCtx(ctx, spec)
 	}
-	return c.get(spec, true, hfmin.Minimize)
+	return c.get(ctx, spec, true, hfmin.MinimizeCtx)
 }
 
 // MinimizeHeuristic is hfmin.MinimizeHeuristic behind the cache; the
@@ -146,7 +162,7 @@ func (c *Cache) MinimizeHeuristic(spec hfmin.Spec) (hfmin.Result, error) {
 	if c == nil {
 		return hfmin.MinimizeHeuristic(spec)
 	}
-	return c.get(spec, false, hfmin.MinimizeHeuristic)
+	return c.get(context.Background(), spec, false, hfmin.MinimizeHeuristicCtx)
 }
 
 // Key returns the content-addressed cache key of (spec, exact): the
@@ -183,54 +199,79 @@ func Key(spec hfmin.Spec, exact bool) [sha256.Size]byte {
 }
 
 // get implements the lookup protocol: in-memory hit, singleflight wait,
-// disk hit, or compute-and-fill.
-func (c *Cache) get(spec hfmin.Spec, exact bool, solve func(hfmin.Spec) (hfmin.Result, error)) (hfmin.Result, error) {
+// disk hit, or compute-and-fill. Computations that end in a context error
+// (or panic) vacate their entry instead of filling it, so a cancelled job
+// never poisons the key for other jobs; waiters on a vacated entry retry
+// the lookup from scratch.
+func (c *Cache) get(ctx context.Context, spec hfmin.Spec, exact bool, solve func(context.Context, hfmin.Spec) (hfmin.Result, error)) (hfmin.Result, error) {
 	key := Key(spec, exact)
 	sh := &c.shards[key[0]%numShards]
-	sh.mu.Lock()
-	if e, ok := sh.m[key]; ok {
-		sh.mu.Unlock()
-		select {
-		case <-e.done:
-		default:
-			// Another worker is solving this exact problem right now;
-			// block on its result instead of duplicating the work.
-			c.dedupWaits.Add(1)
-			obs.Add("memo/dedup-waits", 1)
-			<-e.done
+	for {
+		sh.mu.Lock()
+		if e, ok := sh.m[key]; ok {
+			sh.mu.Unlock()
+			select {
+			case <-e.done:
+			default:
+				// Another worker is solving this exact problem right now;
+				// block on its result instead of duplicating the work — but
+				// only as long as our own context lives.
+				c.dedupWaits.Add(1)
+				obs.Add("memo/dedup-waits", 1)
+				select {
+				case <-e.done:
+				case <-ctx.Done():
+					return hfmin.Result{}, ctx.Err()
+				}
+			}
+			if e.aborted {
+				continue // the computing job was cancelled or panicked; retry
+			}
+			c.hits.Add(1)
+			obs.Add("memo/hits", 1)
+			return e.res, e.err
 		}
-		c.hits.Add(1)
-		obs.Add("memo/hits", 1)
-		return e.res, e.err
-	}
-	e := &entry{done: make(chan struct{})}
-	sh.m[key] = e
-	sh.mu.Unlock()
+		e := &entry{done: make(chan struct{})}
+		sh.m[key] = e
+		sh.mu.Unlock()
 
-	// The entry must be completed even if the solver panics, or waiters
-	// would block forever; the panic is re-raised for par's recovery.
-	completed := false
-	defer func() {
-		if !completed {
-			e.err = fmt.Errorf("memo: computation aborted")
+		abort := func() {
+			sh.mu.Lock()
+			delete(sh.m, key)
+			sh.mu.Unlock()
+			e.aborted = true
 			close(e.done)
 		}
-	}()
+		// The entry must be resolved even if the solver panics, or waiters
+		// would block forever; the panic is re-raised for par's recovery
+		// while the vacated key stays computable by the next caller.
+		completed := false
+		defer func() {
+			if !completed {
+				abort()
+			}
+		}()
 
-	if res, err, ok := c.loadDisk(key); ok {
-		c.diskHits.Add(1)
-		obs.Add("memo/disk-hits", 1)
-		e.res, e.err = res, err
+		if res, err, ok := c.loadDisk(key); ok {
+			c.diskHits.Add(1)
+			obs.Add("memo/disk-hits", 1)
+			e.res, e.err = res, err
+			completed = true
+			close(e.done)
+			return e.res, e.err
+		}
+
+		c.misses.Add(1)
+		obs.Add("memo/misses", 1)
+		res, err := solve(ctx, spec)
 		completed = true
+		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			abort()
+			return res, err
+		}
+		e.res, e.err = res, err
 		close(e.done)
+		c.storeDisk(key, e.res, e.err)
 		return e.res, e.err
 	}
-
-	c.misses.Add(1)
-	obs.Add("memo/misses", 1)
-	e.res, e.err = solve(spec)
-	completed = true
-	close(e.done)
-	c.storeDisk(key, e.res, e.err)
-	return e.res, e.err
 }

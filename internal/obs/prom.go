@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), the payload behind asyncsynthd's GET /metrics.
+//
+// The registry's slash-path names carry arbitrary unit segments
+// ("lt/ALU1/states_before"), which cannot be sanitized into metric names
+// without risking collisions; instead each family keeps the raw path in a
+// label. Four fixed families are emitted, all prefixed asyncsynth_:
+//
+//	asyncsynth_stage_calls_total{stage="gt2"}    spans completed
+//	asyncsynth_stage_seconds_total{stage="gt2"}  summed wall time
+//	asyncsynth_stage_seconds_max{stage="gt2"}    slowest single span
+//	asyncsynth_counter_total{name="memo/hits"}   counters
+//	asyncsynth_gauge{name="service/jobs_running"} gauges
+//
+// Output is sorted by name so consecutive scrapes of an idle process are
+// byte-identical.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	stages := make(map[string]StageStat, len(m.stages))
+	for name, st := range m.stages {
+		stages[name] = *st
+	}
+	counters := make(map[string]int64, len(m.counters))
+	for name, v := range m.counters {
+		counters[name] = v
+	}
+	gauges := make(map[string]int64, len(m.gauges))
+	for name, v := range m.gauges {
+		gauges[name] = v
+	}
+	m.mu.Unlock()
+
+	var b strings.Builder
+	stageNames := sortedKeys(stages)
+	if len(stageNames) > 0 {
+		b.WriteString("# HELP asyncsynth_stage_calls_total Completed pipeline-stage spans.\n")
+		b.WriteString("# TYPE asyncsynth_stage_calls_total counter\n")
+		for _, name := range stageNames {
+			fmt.Fprintf(&b, "asyncsynth_stage_calls_total{stage=%q} %d\n", name, stages[name].Count)
+		}
+		b.WriteString("# HELP asyncsynth_stage_seconds_total Summed wall time per pipeline stage.\n")
+		b.WriteString("# TYPE asyncsynth_stage_seconds_total counter\n")
+		for _, name := range stageNames {
+			fmt.Fprintf(&b, "asyncsynth_stage_seconds_total{stage=%q} %g\n", name, stages[name].Total.Seconds())
+		}
+		b.WriteString("# HELP asyncsynth_stage_seconds_max Slowest single span per pipeline stage.\n")
+		b.WriteString("# TYPE asyncsynth_stage_seconds_max gauge\n")
+		for _, name := range stageNames {
+			fmt.Fprintf(&b, "asyncsynth_stage_seconds_max{stage=%q} %g\n", name, stages[name].Max.Seconds())
+		}
+	}
+	if len(counters) > 0 {
+		b.WriteString("# HELP asyncsynth_counter_total Pipeline counters, keyed by slash-path name.\n")
+		b.WriteString("# TYPE asyncsynth_counter_total counter\n")
+		for _, name := range sortedKeys(counters) {
+			fmt.Fprintf(&b, "asyncsynth_counter_total{name=%q} %d\n", name, counters[name])
+		}
+	}
+	if len(gauges) > 0 {
+		b.WriteString("# HELP asyncsynth_gauge Pipeline gauges, keyed by slash-path name.\n")
+		b.WriteString("# TYPE asyncsynth_gauge gauge\n")
+		for _, name := range sortedKeys(gauges) {
+			fmt.Fprintf(&b, "asyncsynth_gauge{name=%q} %d\n", name, gauges[name])
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -20,6 +20,16 @@
 // and 1 forces the inline sequential path (no goroutines — the debugging
 // fallback). See ExampleMap and ExampleForEach.
 //
+// # Cancellation
+//
+// The Ctx variants (MapCtx, NamedMapCtx, ForEachCtx) accept a
+// context.Context and stop dispatching new tasks once it is cancelled:
+// in-flight tasks run to completion (the closure receives the context and
+// may return early itself), undispatched slots are marked with the
+// context's error, and the fan-out returns promptly so a cancelled job
+// releases its pool workers instead of draining the whole work list. The
+// context-free entry points delegate with context.Background().
+//
 // # Determinism contract
 //
 // Map and ForEach deliver results into index-addressed slots, never by
@@ -42,6 +52,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -84,23 +95,43 @@ func Map[T, R any](workers int, items []T, f func(int, T) (R, error)) ([]R, erro
 	return NamedMap("", workers, items, f)
 }
 
+// MapCtx is Map with a cancellation context: no new task is dispatched
+// after ctx is cancelled, undispatched slots carry ctx.Err(), and f
+// receives the context so long-running tasks can stop early themselves.
+func MapCtx[T, R any](ctx context.Context, workers int, items []T, f func(context.Context, int, T) (R, error)) ([]R, error) {
+	return NamedMapCtx(ctx, "", workers, items, f)
+}
+
 // NamedMap is Map with the fan-out attributed to a pipeline stage: pool
 // metrics are recorded under par/<stage>/... and a worker panic carries
 // the stage name in its *PanicError. The empty stage reports under plain
 // "par/" keys.
 func NamedMap[T, R any](stage string, workers int, items []T, f func(int, T) (R, error)) ([]R, error) {
+	return NamedMapCtx(context.Background(), stage, workers, items,
+		func(_ context.Context, i int, item T) (R, error) { return f(i, item) })
+}
+
+// NamedMapCtx is the context-aware root of the fan-out family: stage
+// attribution as NamedMap, cancellation as MapCtx. Workers check ctx
+// before picking up each task, so a cancelled fan-out stops scheduling
+// promptly; slots whose task never ran are filled with ctx.Err(), and the
+// lowest-index error (a real failure before the cancellation point, or
+// the context error itself) is returned.
+func NamedMapCtx[T, R any](ctx context.Context, stage string, workers int, items []T, f func(context.Context, int, T) (R, error)) ([]R, error) {
 	out := make([]R, len(items))
 	errs := make([]error, len(items))
 	var executed, panicked atomic.Int64
 	run := func(i int) {
+		obs.Set("par/inflight", inflight.Add(1))
 		defer func() {
+			obs.Set("par/inflight", inflight.Add(-1))
 			executed.Add(1)
 			if r := recover(); r != nil {
 				panicked.Add(1)
 				errs[i] = &PanicError{Stage: stage, Value: r, Stack: stack()}
 			}
 		}()
-		out[i], errs[i] = f(i, items[i])
+		out[i], errs[i] = f(ctx, i, items[i])
 	}
 	workers = Workers(workers)
 	if workers > len(items) {
@@ -118,6 +149,10 @@ func NamedMap[T, R any](stage string, workers int, items []T, f func(int, T) (R,
 	}()
 	if workers <= 1 || len(items) <= 1 {
 		for i := range items {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return out, firstError(errs)
+			}
 			run(i)
 			if errs[i] != nil {
 				return out, errs[i] // sequential path short-circuits like a plain loop
@@ -135,6 +170,19 @@ func NamedMap[T, R any](stage string, workers int, items []T, f func(int, T) (R,
 		go func() {
 			defer wg.Done()
 			for {
+				if err := ctx.Err(); err != nil {
+					// Mark one undispatched slot with the context error so
+					// firstError surfaces the cancellation; the remaining
+					// slots stay nil and are never run.
+					mu.Lock()
+					i := next
+					next = len(out)
+					mu.Unlock()
+					if i < len(out) {
+						errs[i] = err
+					}
+					return
+				}
 				mu.Lock()
 				i := next
 				next++
@@ -158,6 +206,20 @@ func ForEach(workers, n int, f func(int) error) error {
 	})
 	return err
 }
+
+// ForEachCtx is ForEach with the cancellation behaviour of MapCtx.
+func ForEachCtx(ctx context.Context, workers, n int, f func(context.Context, int) error) error {
+	_, err := MapCtx(ctx, workers, make([]struct{}, n), func(ctx context.Context, i int, _ struct{}) (struct{}, error) {
+		return struct{}{}, f(ctx, i)
+	})
+	return err
+}
+
+// inflight counts pool workers currently executing a task, process-wide
+// across every concurrent Map. It is exported as the "par/inflight" gauge
+// so a long-running server can observe that cancelling a job actually
+// releases its workers (the gauge falls back as they drain).
+var inflight atomic.Int64
 
 // firstError returns the lowest-index non-nil error.
 func firstError(errs []error) error {

@@ -1,0 +1,186 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// maxRequestBytes bounds a job submission body; the largest built-in
+// benchmark encodes to well under 10 KiB, so 4 MiB leaves room for much
+// larger CDFGs while keeping a hostile client from ballooning memory.
+const maxRequestBytes = 4 << 20
+
+// JobStatus is the JSON body of job-state responses. Result carries the
+// full synthesis document (verbatim, as produced by codec) once the job
+// is done.
+type JobStatus struct {
+	ID     string          `json:"id"`
+	State  string          `json:"state"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// errorBody is the JSON body of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs       submit a codec graph document (?level= selects
+//	                      the optimization level, default the full ladder)
+//	GET    /v1/jobs/{id}  poll job state; includes the result when done
+//	GET    /v1/jobs/{id}/result  the raw synthesis document, byte-for-byte
+//	                      as the codec produced it (409 until done)
+//	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	GET    /healthz       liveness (503 while draining)
+//	GET    /metrics       the obs registry in Prometheus text format
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", m.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", m.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
+	mux.HandleFunc("GET /healthz", m.handleHealth)
+	mux.HandleFunc("GET /metrics", handleMetrics)
+	return mux
+}
+
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	if len(body) > maxRequestBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds limit")
+		return
+	}
+	level := core.OptimizedGTLT
+	if lv := r.URL.Query().Get("level"); lv != "" {
+		parsed, ok := parseLevel(lv)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "unknown level "+lv)
+			return
+		}
+		level = parsed
+	}
+	g, err := codec.DecodeGraph(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	job, err := m.Submit(g, level)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, statusOf(job))
+}
+
+func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, err := m.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOf(job))
+}
+
+// handleResult serves the synthesis document verbatim. The embedded
+// Result in JobStatus is re-indented by the status encoder; clients that
+// need the codec's exact bytes (the smoke test's bit-identical netlist
+// check) read this endpoint instead.
+func (m *Manager) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, err := m.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	job.mu.Lock()
+	state, result := job.state, job.result
+	job.mu.Unlock()
+	if state != StateDone {
+		writeError(w, http.StatusConflict, "job is "+state.String())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(result)
+}
+
+func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := m.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOf(job))
+}
+
+func (m *Manager) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if m.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	reg := obs.Gather()
+	if reg == nil {
+		writeError(w, http.StatusNotFound, "metrics registry not installed")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WritePrometheus(w)
+}
+
+// statusOf snapshots a job for the wire.
+func statusOf(job *Job) JobStatus {
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	st := JobStatus{ID: job.id, State: job.state.String()}
+	if job.err != nil {
+		st.Error = job.err.Error()
+	}
+	if job.state == StateDone {
+		st.Result = json.RawMessage(job.result)
+	}
+	return st
+}
+
+// parseLevel maps the Level.String() forms back to levels.
+func parseLevel(s string) (core.Level, bool) {
+	for _, l := range []core.Level{core.Unoptimized, core.OptimizedGT, core.OptimizedGTLT} {
+		if s == l.String() {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}

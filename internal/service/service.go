@@ -1,0 +1,422 @@
+// Package service turns the synthesis pipeline into a long-running job
+// server: a bounded admission queue in front of a fixed pool of job
+// runners, each executing the full flow (core.RunCtx followed by
+// gate-level SynthesizeLogicCtx) under a per-job context.
+//
+// # Job lifecycle
+//
+// A job moves through a small state machine:
+//
+//	queued ──► running ──► done
+//	   │           │   └──► failed
+//	   └───────────┴──────► cancelled
+//
+// Submit admits a job into the queue or rejects it immediately with
+// ErrQueueFull — admission is the only place backpressure is applied, so
+// a full server answers in microseconds instead of accumulating work.
+// Cancel on a queued job marks it cancelled before it ever runs; on a
+// running job it cancels the job's context, which the pipeline observes
+// at stage boundaries, between encoding-ladder rungs and inside the
+// covering branch-and-bound, releasing the job's pool workers within a
+// poll interval. Cancelling a terminal job is a no-op.
+//
+// # Shared resources
+//
+// All jobs share one process-wide minimizer cache (Config.Minimizer,
+// usually a memo.Cache) and divide one parallelism budget
+// (Config.Parallelism) evenly across the Config.Concurrency runners, so
+// a saturated server never oversubscribes the host. The memo layer
+// guarantees a cancelled job never leaves a partial result behind for a
+// neighbour to hit.
+//
+// # Observability
+//
+// The manager maintains gauges service/jobs_queued and
+// service/jobs_running and counters service/jobs_{submitted,rejected,
+// completed,failed,cancelled} on the global obs registry; together with
+// the worker pool's par/inflight gauge they make the drain and
+// cancellation behaviour externally assertable (see GET /metrics).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cdfg"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/synth"
+	"repro/internal/timing"
+	"repro/internal/transform"
+)
+
+// State is a job's position in the lifecycle state machine.
+type State int
+
+// Job lifecycle states.
+const (
+	StateQueued State = iota
+	StateRunning
+	StateDone
+	StateFailed
+	StateCancelled
+)
+
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Sentinel errors returned by Submit, Get and Cancel.
+var (
+	// ErrQueueFull rejects a submission when the admission queue is at
+	// capacity; the HTTP layer maps it to 429 Too Many Requests.
+	ErrQueueFull = errors.New("service: admission queue full")
+	// ErrDraining rejects submissions after Drain has begun.
+	ErrDraining = errors.New("service: server is draining")
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("service: no such job")
+)
+
+// Config sizes a Manager. The zero value selects the documented defaults.
+type Config struct {
+	// QueueDepth bounds how many admitted jobs may wait for a runner;
+	// submissions beyond it fail fast with ErrQueueFull. Default 16.
+	QueueDepth int
+	// Concurrency is how many jobs run simultaneously. Default 2.
+	Concurrency int
+	// Parallelism is the total pipeline worker budget, divided evenly
+	// across the concurrent runners (at least 1 each). Default GOMAXPROCS.
+	Parallelism int
+	// JobTimeout, when positive, is the per-job deadline; a job exceeding
+	// it fails with context.DeadlineExceeded.
+	JobTimeout time.Duration
+	// Minimizer, when non-nil, is the shared hazard-free minimization
+	// cache every job routes through (typically a memo.Cache).
+	Minimizer synth.Minimizer
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 2
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Job is one synthesis request moving through the lifecycle. All methods
+// are safe for concurrent use.
+type Job struct {
+	id    string
+	graph *cdfg.Graph
+	level core.Level
+
+	mu     sync.Mutex
+	state  State
+	err    error
+	result []byte
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	submitted time.Time
+	finished  time.Time
+}
+
+// ID returns the job's server-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the terminal error for failed and cancelled jobs.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Result returns the encoded synthesis document of a done job (nil
+// otherwise).
+func (j *Job) Result() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state State, result []byte, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = result
+	j.err = err
+	j.finished = time.Now()
+	close(j.done)
+}
+
+// Manager owns the admission queue, the runner pool and the job index.
+type Manager struct {
+	cfg  Config
+	base context.Context
+	stop context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	queue    chan *Job
+	draining bool
+	nextID   uint64
+
+	wg      sync.WaitGroup
+	running int64
+}
+
+// New starts a manager with cfg's queue depth and runner pool.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	base, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:   cfg,
+		base:  base,
+		stop:  stop,
+		jobs:  map[string]*Job{},
+		queue: make(chan *Job, cfg.QueueDepth),
+	}
+	m.wg.Add(cfg.Concurrency)
+	for i := 0; i < cfg.Concurrency; i++ {
+		go m.runner()
+	}
+	return m
+}
+
+// Submit admits a synthesis job for graph at the given optimization
+// level, or rejects it with ErrQueueFull / ErrDraining. The graph must
+// already be validated (the codec's DecodeGraph guarantees this).
+func (m *Manager) Submit(graph *cdfg.Graph, level core.Level) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, ErrDraining
+	}
+	m.nextID++
+	job := &Job{
+		id:        fmt.Sprintf("job-%06d", m.nextID),
+		graph:     graph,
+		level:     level,
+		state:     StateQueued,
+		done:      make(chan struct{}),
+		submitted: time.Now(),
+	}
+	select {
+	case m.queue <- job:
+	default:
+		m.nextID-- // ID was never issued
+		obs.Add("service/jobs_rejected", 1)
+		return nil, ErrQueueFull
+	}
+	m.jobs[job.id] = job
+	obs.Add("service/jobs_submitted", 1)
+	obs.Set("service/jobs_queued", int64(len(m.queue)))
+	return job, nil
+}
+
+// Get returns the job with the given ID.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return job, nil
+}
+
+// Cancel requests cancellation of a job. A queued job becomes cancelled
+// immediately; a running job has its context cancelled and reaches the
+// cancelled state once the pipeline observes it. Cancelling a terminal
+// job is a no-op. The updated job is returned either way.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	job, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	job.mu.Lock()
+	switch {
+	case job.state == StateQueued:
+		// The job stays in the channel; the runner skips terminal jobs.
+		job.state = StateCancelled
+		job.err = context.Canceled
+		job.finished = time.Now()
+		close(job.done)
+		job.mu.Unlock()
+		obs.Add("service/jobs_cancelled", 1)
+	case job.state == StateRunning && job.cancel != nil:
+		cancel := job.cancel
+		job.mu.Unlock()
+		cancel()
+	default:
+		job.mu.Unlock()
+	}
+	return job, nil
+}
+
+// Drain stops admission, lets queued and running jobs finish, and waits
+// for the runner pool to exit. If ctx expires first the remaining jobs
+// are force-cancelled and Drain waits for the (prompt, cooperative)
+// teardown before returning ctx's error.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.stop() // force-cancel every running job
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close force-cancels all work and waits for the pool to exit; for tests
+// and abnormal shutdown. Graceful shutdown is Drain.
+func (m *Manager) Close() {
+	m.stop()
+	m.Drain(context.Background())
+}
+
+// Queued returns the current admission-queue length.
+func (m *Manager) Queued() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// Draining reports whether Drain has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// runner is one pool slot: it pulls admitted jobs until Drain closes the
+// queue.
+func (m *Manager) runner() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.runJob(job)
+	}
+}
+
+// runJob executes one job under its per-job context.
+func (m *Manager) runJob(job *Job) {
+	job.mu.Lock()
+	if job.state.Terminal() { // cancelled while queued
+		job.mu.Unlock()
+		return
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if m.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(m.base, m.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(m.base)
+	}
+	defer cancel()
+	job.state = StateRunning
+	job.cancel = cancel
+	job.mu.Unlock()
+
+	m.mu.Lock()
+	m.running++
+	obs.Set("service/jobs_running", m.running)
+	obs.Set("service/jobs_queued", int64(len(m.queue)))
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.running--
+		obs.Set("service/jobs_running", m.running)
+		m.mu.Unlock()
+	}()
+
+	enc, err := m.synthesize(ctx, job)
+	switch {
+	case err == nil:
+		job.finish(StateDone, enc, nil)
+		obs.Add("service/jobs_completed", 1)
+	case errors.Is(err, context.Canceled):
+		job.finish(StateCancelled, nil, err)
+		obs.Add("service/jobs_cancelled", 1)
+	default:
+		job.finish(StateFailed, nil, err)
+		obs.Add("service/jobs_failed", 1)
+	}
+}
+
+// synthesize runs the full pipeline for one job and encodes the result.
+func (m *Manager) synthesize(ctx context.Context, job *Job) ([]byte, error) {
+	perJob := m.cfg.Parallelism / m.cfg.Concurrency
+	if perJob < 1 {
+		perJob = 1
+	}
+	opts := core.Options{
+		Level:       job.level,
+		Timing:      timing.DefaultModel(),
+		Transform:   transform.DefaultOptions(),
+		Parallelism: perJob,
+		Minimizer:   m.cfg.Minimizer,
+	}
+	s, err := core.RunCtx(ctx, job.graph, opts)
+	if err != nil {
+		return nil, err
+	}
+	results, err := s.SynthesizeLogicCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return codec.EncodeSynthesis(s, results)
+}

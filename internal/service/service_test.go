@@ -1,0 +1,423 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/diffeq"
+	"repro/internal/hfmin"
+	"repro/internal/obs"
+)
+
+// gateMin is a MinimizerCtx that parks every minimization until the gate
+// channel is closed (or the caller's context ends), letting tests hold
+// jobs mid-pipeline deterministically.
+type gateMin struct {
+	gate chan struct{}
+}
+
+func (g *gateMin) Minimize(spec hfmin.Spec) (hfmin.Result, error) {
+	return g.MinimizeCtx(context.Background(), spec)
+}
+
+func (g *gateMin) MinimizeCtx(ctx context.Context, spec hfmin.Spec) (hfmin.Result, error) {
+	select {
+	case <-g.gate:
+		return hfmin.MinimizeCtx(ctx, spec)
+	case <-ctx.Done():
+		return hfmin.Result{}, ctx.Err()
+	}
+}
+
+// waitState polls until the job reaches want or the deadline passes.
+func waitState(t *testing.T, job *Job, want State) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for job.State() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %v, want %v", job.ID(), job.State(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestSubmitToCompletion(t *testing.T) {
+	m := New(Config{Concurrency: 2, Parallelism: 4})
+	defer m.Close()
+	job, err := m.Submit(diffeq.Build(diffeq.DefaultParams()), core.OptimizedGTLT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("job did not finish")
+	}
+	if job.State() != StateDone {
+		t.Fatalf("state %v (err %v), want done", job.State(), job.Err())
+	}
+	doc, err := codec.DecodeSynthesis(job.Result())
+	if err != nil {
+		t.Fatalf("result does not decode: %v", err)
+	}
+	if doc.Name != "diffeq" || len(doc.Controllers) != len(diffeq.FUs) {
+		t.Fatalf("unexpected result: name=%q controllers=%d", doc.Name, len(doc.Controllers))
+	}
+}
+
+func TestBackpressureRejectsBeyondQueueDepth(t *testing.T) {
+	min := &gateMin{gate: make(chan struct{})}
+	m := New(Config{Concurrency: 1, QueueDepth: 1, Minimizer: min})
+	defer m.Close()
+	running, err := m.Submit(diffeq.Build(diffeq.DefaultParams()), core.OptimizedGTLT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning)
+	if _, err := m.Submit(diffeq.Build(diffeq.DefaultParams()), core.OptimizedGTLT); err != nil {
+		t.Fatalf("queue-depth submission rejected: %v", err)
+	}
+	if _, err := m.Submit(diffeq.Build(diffeq.DefaultParams()), core.OptimizedGTLT); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+	if got := obs.Gather(); got != nil {
+		t.Log("metrics registry unexpectedly installed") // tolerated; counters still work
+	}
+	close(min.gate)
+}
+
+// TestCancelFreesWorkersWithoutFailingOthers is the acceptance scenario:
+// of three concurrent jobs, cancelling one releases its pool workers
+// (observed via the par/inflight and service/jobs_running gauges) while
+// the other two run to completion.
+func TestCancelFreesWorkersWithoutFailingOthers(t *testing.T) {
+	reg := obs.NewMetrics()
+	obs.SetMetrics(reg)
+	defer obs.SetMetrics(nil)
+
+	min := &gateMin{gate: make(chan struct{})}
+	m := New(Config{Concurrency: 3, Parallelism: 3, Minimizer: min})
+	defer m.Close()
+
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		job, err := m.Submit(diffeq.Build(diffeq.DefaultParams()), core.OptimizedGTLT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job)
+	}
+	for _, job := range jobs {
+		waitState(t, job, StateRunning)
+	}
+	// All three are parked inside the gated minimizer on pool workers.
+	deadline := time.Now().Add(30 * time.Second)
+	for reg.Gauge("par/inflight") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no pool workers became busy")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := reg.Gauge("service/jobs_running"); got != 3 {
+		t.Fatalf("jobs_running gauge = %d, want 3", got)
+	}
+
+	victim := jobs[1]
+	if _, err := m.Cancel(victim.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, victim, StateCancelled)
+	if !errors.Is(victim.Err(), context.Canceled) {
+		t.Fatalf("victim err = %v, want context.Canceled", victim.Err())
+	}
+	// The victim's runner slot and pool workers must drain back.
+	for reg.Gauge("service/jobs_running") != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs_running gauge stuck at %d after cancel", reg.Gauge("service/jobs_running"))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The survivors complete once the gate opens.
+	close(min.gate)
+	for _, job := range []*Job{jobs[0], jobs[2]} {
+		waitState(t, job, StateDone)
+	}
+	for reg.Gauge("par/inflight") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("par/inflight gauge stuck at %d", reg.Gauge("par/inflight"))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if reg.Gauge("service/jobs_running") != 0 {
+		t.Fatalf("jobs_running gauge = %d at idle", reg.Gauge("service/jobs_running"))
+	}
+}
+
+func TestCancelQueuedJobNeverRuns(t *testing.T) {
+	min := &gateMin{gate: make(chan struct{})}
+	m := New(Config{Concurrency: 1, QueueDepth: 2, Minimizer: min})
+	defer m.Close()
+	running, err := m.Submit(diffeq.Build(diffeq.DefaultParams()), core.OptimizedGTLT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning)
+	queued, err := m.Submit(diffeq.Build(diffeq.DefaultParams()), core.OptimizedGTLT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if queued.State() != StateCancelled {
+		t.Fatalf("queued job state %v, want cancelled", queued.State())
+	}
+	close(min.gate)
+	waitState(t, running, StateDone)
+	// Idempotence: cancelling a terminal job changes nothing.
+	if _, err := m.Cancel(running.ID()); err != nil || running.State() != StateDone {
+		t.Fatalf("cancel on done job: err=%v state=%v", err, running.State())
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	min := &gateMin{gate: make(chan struct{})} // never opened: job hangs until deadline
+	m := New(Config{Concurrency: 1, JobTimeout: 50 * time.Millisecond, Minimizer: min})
+	defer m.Close()
+	job, err := m.Submit(diffeq.Build(diffeq.DefaultParams()), core.OptimizedGTLT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, job, StateFailed)
+	if !errors.Is(job.Err(), context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", job.Err())
+	}
+}
+
+func TestDrainFinishesQueuedWorkAndRejectsNew(t *testing.T) {
+	m := New(Config{Concurrency: 1})
+	defer m.Close()
+	job, err := m.Submit(diffeq.Build(diffeq.DefaultParams()), core.OptimizedGTLT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if job.State() != StateDone {
+		t.Fatalf("drained job state %v, want done", job.State())
+	}
+	if _, err := m.Submit(diffeq.Build(diffeq.DefaultParams()), core.OptimizedGTLT); !errors.Is(err, ErrDraining) {
+		t.Fatalf("got %v, want ErrDraining", err)
+	}
+}
+
+// TestHTTPEndToEnd drives the full HTTP surface in-process: submit the
+// DIFFEQ document, poll to completion, and check the result is
+// bit-identical to a direct pipeline run.
+func TestHTTPEndToEnd(t *testing.T) {
+	reg := obs.NewMetrics()
+	obs.SetMetrics(reg)
+	defer obs.SetMetrics(nil)
+
+	m := New(Config{Concurrency: 2})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	doc, err := codec.EncodeGraph(diffeq.Build(diffeq.DefaultParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	decodeBody(t, resp, http.StatusAccepted, &st)
+	if st.State != "queued" || st.ID == "" {
+		t.Fatalf("submit response: %+v", st)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s (error %q)", st.State, st.Error)
+		}
+		if st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("job reached %s: %s", st.State, st.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err = http.Get(srv.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeBody(t, resp, http.StatusOK, &st)
+	}
+
+	direct, err := core.Run(diffeq.Build(diffeq.DefaultParams()), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := direct.SynthesizeLogic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := codec.EncodeSynthesis(direct, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The status embed is re-indented JSON; the /result endpoint serves
+	// the codec's exact bytes.
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw := readAll(t, resp); resp.StatusCode != http.StatusOK || !bytes.Equal([]byte(raw), want) {
+		t.Fatalf("served synthesis document differs from direct pipeline run (status %d)", resp.StatusCode)
+	}
+	var embedded, direct2 codec.SynthesisDoc
+	if err := json.Unmarshal(st.Result, &embedded); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(want, &direct2); err != nil {
+		t.Fatal(err)
+	}
+	if len(embedded.Controllers) != len(direct2.Controllers) {
+		t.Fatal("embedded result controller count differs")
+	}
+	for i := range embedded.Controllers {
+		if embedded.Controllers[i].Netlist != direct2.Controllers[i].Netlist {
+			t.Fatalf("netlist for %s differs between embedded and direct", embedded.Controllers[i].FU)
+		}
+	}
+
+	// Liveness and metrics endpoints.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK ||
+		!strings.Contains(body, `asyncsynth_counter_total{name="service/jobs_completed"} 1`) {
+		t.Fatalf("metrics: %d %q", resp.StatusCode, body)
+	}
+
+	// Unknown job and malformed submissions.
+	resp, err = http.Get(srv.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed submit: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/jobs?level=bogus", "application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad level: %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPBackpressureAndCancel(t *testing.T) {
+	min := &gateMin{gate: make(chan struct{})}
+	m := New(Config{Concurrency: 1, QueueDepth: 1, Minimizer: min})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	doc, err := codec.EncodeGraph(diffeq.Build(diffeq.DefaultParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() (*http.Response, JobStatus) {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		if resp.StatusCode == http.StatusAccepted {
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+		}
+		resp.Body.Close()
+		return resp, st
+	}
+	_, first := post()
+	running, err := m.Get(first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning)
+	post() // fills the queue
+	resp, _ := post()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-depth submit: %d, want 429", resp.StatusCode)
+	}
+
+	// DELETE the running job; it must reach cancelled.
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+first.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	decodeBody(t, resp, http.StatusOK, &st)
+	waitState(t, running, StateCancelled)
+	close(min.gate)
+}
+
+func decodeBody(t *testing.T, resp *http.Response, wantStatus int, v interface{}) {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, wantStatus, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+

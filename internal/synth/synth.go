@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -57,6 +58,16 @@ type Minimizer interface {
 	Minimize(hfmin.Spec) (hfmin.Result, error)
 }
 
+// MinimizerCtx is the optional context-aware extension of Minimizer. When
+// a Minimizer also implements it (internal/memo's *Cache does), the
+// synthesis pipeline routes cancellable minimizations through MinimizeCtx
+// so a cancelled job stops mid-minimization instead of finishing the
+// covering search it was in.
+type MinimizerCtx interface {
+	Minimizer
+	MinimizeCtx(ctx context.Context, spec hfmin.Spec) (hfmin.Result, error)
+}
+
 // Synthesize produces two-level hazard-free logic for every output signal
 // and state bit of the machine, in the single-output style of the 3D tool,
 // and reports product/literal totals (the paper's Figure 13 metrics).
@@ -80,7 +91,17 @@ func SynthesizeParallel(m *bm.Machine, workers int) (*Result, error) {
 // routed through min (nil = call hfmin.Minimize directly). Because cache
 // hits are bit-identical to fresh computations, the result is the same at
 // every cache state; only the wall time changes.
-func SynthesizeMemo(m *bm.Machine, workers int, min Minimizer) (_ *Result, err error) {
+func SynthesizeMemo(m *bm.Machine, workers int, min Minimizer) (*Result, error) {
+	return SynthesizeCtx(context.Background(), m, workers, min)
+}
+
+// SynthesizeCtx is SynthesizeMemo with cooperative cancellation: the
+// context is checked between the rungs of the encoding-attempt ladder,
+// before each per-output minimization is dispatched (par.NamedMapCtx) and
+// inside the minimizer itself (hfmin.MinimizeCtx, or min's MinimizeCtx
+// when it implements MinimizerCtx), so a cancelled job releases its pool
+// workers promptly. A cancelled synthesis returns ctx.Err().
+func SynthesizeCtx(ctx context.Context, m *bm.Machine, workers int, min Minimizer) (_ *Result, err error) {
 	sp := obs.Start("synth", m.Name)
 	defer func() { sp.EndErr(err) }()
 	c, err := Concretize(m)
@@ -112,6 +133,11 @@ func SynthesizeMemo(m *bm.Machine, workers int, min Minimizer) (_ *Result, err e
 		{oneHot: true},
 	}
 	for _, a := range ladder {
+		// Cancellation checkpoint between ladder rungs: a cancelled job
+		// abandons the remaining encoding attempts immediately.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if a.feedback && len(c.Inputs)+len(c.Outputs)+minBits+4 > 26 {
 			continue // output feedback too wide to minimize exactly
 		}
@@ -121,11 +147,14 @@ func SynthesizeMemo(m *bm.Machine, workers int, min Minimizer) (_ *Result, err e
 				lastErr = encErr
 				continue
 			}
-			res, err := synthesizeWith(c, enc, len(reach), true, a.strict, a.feedback, workers, min)
+			res, err := synthesizeWith(ctx, c, enc, len(reach), true, a.strict, a.feedback, workers, min)
 			if err == nil {
 				res.Controller = m.Name
 				recordSynth(res)
 				return res, nil
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
 			}
 			lastErr = err
 			continue
@@ -135,11 +164,14 @@ func SynthesizeMemo(m *bm.Machine, workers int, min Minimizer) (_ *Result, err e
 			if enc == nil {
 				enc = sequentialEncoding(c, reach, bits)
 			}
-			res, err := synthesizeWith(c, enc, bits, false, a.strict, a.feedback, workers, min)
+			res, err := synthesizeWith(ctx, c, enc, bits, false, a.strict, a.feedback, workers, min)
 			if err == nil {
 				res.Controller = m.Name
 				recordSynth(res)
 				return res, nil
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
 			}
 			lastErr = err
 		}
@@ -208,7 +240,7 @@ func oneHotEncoding(reach []int) (map[int]uint64, error) {
 // minimizations are independent (they only read the shared concretized
 // machine and encoding) and fan out across `workers` goroutines; exact
 // minimizations go through min when one is supplied.
-func synthesizeWith(c *Concrete, enc map[int]uint64, bits int, oneHot, strict, feedback bool, workers int, min Minimizer) (*Result, error) {
+func synthesizeWith(ctx context.Context, c *Concrete, enc map[int]uint64, bits int, oneHot, strict, feedback bool, workers int, min Minimizer) (*Result, error) {
 	obs.Add("synth/attempts", 1)
 	vars, varIdx := variableOrder(c, bits, feedback)
 	n := len(vars)
@@ -237,7 +269,7 @@ func synthesizeWith(c *Concrete, enc map[int]uint64, bits int, oneHot, strict, f
 	// as clean spans. The span's unit field identifies the controller and
 	// function; the counter stays a bounded per-stage aggregate so the
 	// metrics registry's cardinality does not grow with design size.
-	minimized, err := par.NamedMap("hfmin", workers, fns, func(_ int, f fn) (_ FuncResult, err error) {
+	minimized, err := par.NamedMapCtx(ctx, "hfmin", workers, fns, func(ctx context.Context, _ int, f fn) (_ FuncResult, err error) {
 		fnSp := obs.Start("hfmin", c.Name+"."+f.name)
 		defer func() { fnSp.EndErr(err) }()
 		obs.Add("hfmin/minimizations", 1)
@@ -300,9 +332,13 @@ func synthesizeWith(c *Concrete, enc map[int]uint64, bits int, oneHot, strict, f
 			}
 		}
 		hf := true
-		minimize := hfmin.Minimize
+		minimize := func(s hfmin.Spec) (hfmin.Result, error) { return hfmin.MinimizeCtx(ctx, s) }
 		if min != nil {
-			minimize = min.Minimize
+			if mc, ok := min.(MinimizerCtx); ok {
+				minimize = func(s hfmin.Spec) (hfmin.Result, error) { return mc.MinimizeCtx(ctx, s) }
+			} else {
+				minimize = min.Minimize
+			}
 		}
 		r, err := minimize(spec)
 		if errors.Is(err, hfmin.ErrInfeasible) && strict {

@@ -18,4 +18,11 @@ echo "== memo equivalence (cached pipeline bit-identical to uncached)"
 go test -race -run 'TestMemoEquivalence' -count=1 .
 echo "== cold-cache overhead guard (<5% on the all-miss path)"
 go test -run 'TestColdCacheOverheadGuard' -count=1 .
+echo "== server smoke test (asyncsynthd on a random port: submit DIFFEQ,"
+echo "   poll to completion, served netlists bit-identical to direct run,"
+echo "   graceful SIGTERM drain)"
+go test -race -run 'TestServerSmoke' -count=1 ./cmd/asyncsynthd
+echo "== server cancellation (DELETE frees pool workers without failing"
+echo "   the other in-flight jobs; asserted via obs pool gauges)"
+go test -race -run 'TestCancelFreesWorkersWithoutFailingOthers|TestHTTPBackpressureAndCancel' -count=1 ./internal/service
 echo "== verify: OK"
