@@ -54,6 +54,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/fir"
 	"repro/internal/gcd"
+	"repro/internal/logic"
 	"repro/internal/memo"
 	"repro/internal/obs"
 	"repro/internal/synth"
@@ -69,12 +70,18 @@ var (
 	pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cacheDir    = flag.String("cache-dir", "", "persist hazard-free minimization results under this directory (warm runs skip re-solving)")
 	noCache     = flag.Bool("no-cache", false, "disable hazard-free minimization memoization entirely")
+	solverName  = flag.String("solver", "bb", "covering backend for exact hazard-free minimization: bb, pb, portfolio or greedy")
 )
 
 // minimizer is the process-wide hfmin memoization cache built from
 // -cache-dir/-no-cache; nil when -no-cache. A typed nil *memo.Cache must
 // not leak into the synth.Minimizer interface, hence the indirection.
 var minimizer synth.Minimizer
+
+// coverSolver is the covering backend parsed from -solver; it configures
+// both the memo cache (backend is part of the cache key) and the direct
+// hfmin path used under -no-cache.
+var coverSolver logic.Solver
 
 func main() { os.Exit(run()) }
 
@@ -99,8 +106,14 @@ func run() int {
 		return 1
 	}
 	defer teardown()
+	coverSolver, err = logic.ParseSolver(*solverName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asyncsynth:", err)
+		usage()
+		return 2
+	}
 	if !*noCache {
-		cache, err := memo.New(*cacheDir)
+		cache, err := memo.NewSolver(*cacheDir, coverSolver)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "asyncsynth:", err)
 			return 1
@@ -208,6 +221,9 @@ flags:
                             warm runs load them instead of re-solving
   -no-cache                 disable minimization memoization (results are
                             identical either way; only wall time changes)
+  -solver name              covering backend for exact minimization:
+                            bb (default), pb, portfolio (results identical
+                            to bb) or greedy (heuristic, inexact)
 
 commands:
   report fig5|fig12|fig13   regenerate a paper table/figure (DIFFEQ)
@@ -228,12 +244,14 @@ commands:
 benchmarks: diffeq (default), gcd, fir`)
 }
 
-// defaultOpts is core.DefaultOptions with the -j worker-pool bound and the
-// -cache-dir/-no-cache minimization cache applied.
+// defaultOpts is core.DefaultOptions with the -j worker-pool bound, the
+// -cache-dir/-no-cache minimization cache and the -solver covering backend
+// applied.
 func defaultOpts() core.Options {
 	opt := core.DefaultOptions()
 	opt.Parallelism = *jWorkers
 	opt.Minimizer = minimizer
+	opt.Solver = coverSolver
 	return opt
 }
 
@@ -420,6 +438,7 @@ func doExplore(args []string) error {
 		Workers:    *jWorkers,
 		Synthesize: true,
 		Minimizer:  minimizer,
+		Solver:     coverSolver,
 	})
 	fmt.Print(explore.Format(scores))
 	if best, ok := explore.Best(scores, func(s explore.Score) float64 { return s.Makespan }); ok {

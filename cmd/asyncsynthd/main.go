@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/logic"
 	"repro/internal/memo"
 	"repro/internal/obs"
 	"repro/internal/service"
@@ -58,6 +59,7 @@ var (
 	drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for in-flight jobs before force-cancelling")
 	cacheDir     = flag.String("cache-dir", "", "persist hazard-free minimization results under this directory")
 	noCache      = flag.Bool("no-cache", false, "disable the shared minimization memo cache")
+	solverName   = flag.String("solver", "bb", "covering backend for exact hazard-free minimization: bb, pb, portfolio or greedy")
 )
 
 func main() { os.Exit(run()) }
@@ -78,9 +80,15 @@ func run() int {
 	// The metrics registry is always on — /metrics is part of the API.
 	obs.SetMetrics(obs.NewMetrics())
 
+	solver, err := logic.ParseSolver(*solverName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asyncsynthd:", err)
+		flag.Usage()
+		return 2
+	}
 	var minimizer synth.Minimizer
 	if !*noCache {
-		cache, err := memo.New(*cacheDir)
+		cache, err := memo.NewSolver(*cacheDir, solver)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "asyncsynthd:", err)
 			return 1
@@ -93,6 +101,7 @@ func run() int {
 		Parallelism: *jWorkers,
 		JobTimeout:  *jobTimeout,
 		Minimizer:   minimizer,
+		Solver:      solver,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

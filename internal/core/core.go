@@ -21,6 +21,7 @@ import (
 	"repro/internal/cdfg"
 	"repro/internal/extract"
 	"repro/internal/local"
+	"repro/internal/logic"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sim"
@@ -72,6 +73,13 @@ type Options struct {
 	// changes. Sharing one cache across runs (e.g. an exploration sweep)
 	// turns repeated minimization problems into hits.
 	Minimizer synth.Minimizer
+	// Solver selects the covering backend for exact hazard-free
+	// minimizations (see logic.Solver): the branch-and-bound reference
+	// (zero value), the pseudo-Boolean solver, the racing portfolio, or
+	// the greedy heuristic. Exact backends produce bit-identical logic;
+	// only wall time changes. Ignored when Minimizer is set (a memo cache
+	// carries its own backend, fixed at construction so cache keys match).
+	Solver logic.Solver
 }
 
 // DefaultOptions runs the full pipeline.
@@ -96,6 +104,8 @@ type Synthesis struct {
 	// Minimizer is the optional hfmin memoization layer inherited from
 	// Options, used by SynthesizeLogic.
 	Minimizer synth.Minimizer
+	// Solver is the covering backend inherited from Options.
+	Solver logic.Solver
 }
 
 // FUs returns the controller (functional-unit) names in sorted order —
@@ -141,6 +151,7 @@ func RunCtx(ctx context.Context, g *cdfg.Graph, opt Options) (_ *Synthesis, err 
 		LTReports:   map[string]*local.Report{},
 		Parallelism: opt.Parallelism,
 		Minimizer:   opt.Minimizer,
+		Solver:      opt.Solver,
 	}
 	exOpt := extract.Options{}
 	if opt.Level == Unoptimized {
@@ -236,7 +247,7 @@ func (s *Synthesis) SynthesizeLogic() (map[string]*synth.Result, error) {
 func (s *Synthesis) SynthesizeLogicCtx(ctx context.Context) (map[string]*synth.Result, error) {
 	fus := s.FUs()
 	results, err := par.NamedMapCtx(ctx, "synth", s.Parallelism, fus, func(ctx context.Context, _ int, fu string) (*synth.Result, error) {
-		r, err := synth.SynthesizeCtx(ctx, s.Machines[fu], s.Parallelism, s.Minimizer)
+		r, err := synth.SynthesizeSolver(ctx, s.Machines[fu], s.Parallelism, s.Minimizer, s.Solver)
 		if err != nil {
 			return nil, fmt.Errorf("core: synthesis of %s: %w", fu, err)
 		}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cdfg"
 	"repro/internal/core"
+	"repro/internal/logic"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sim"
@@ -76,6 +77,9 @@ type Options struct {
 	// untouched re-pose identical minimization problems, which become
 	// cache hits instead of repeated solves.
 	Minimizer synth.Minimizer
+	// Solver is the covering backend for exact minimizations when no
+	// Minimizer is supplied (see logic.Solver and core.Options.Solver).
+	Solver logic.Solver
 }
 
 // Evaluate runs one variant on a fresh clone of the graph.
@@ -104,6 +108,7 @@ func evaluateOn(work *cdfg.Graph, v Variant, sweep Options) Score {
 	}
 	opt.Parallelism = sweep.Workers
 	opt.Minimizer = sweep.Minimizer
+	opt.Solver = sweep.Solver
 	if v.LT {
 		opt.Level = core.OptimizedGTLT
 	}

@@ -268,7 +268,7 @@ var ErrInfeasible = errors.New("hfmin: specification has no hazard-free cover")
 // two-level cover of the specification, using exact branch-and-bound
 // covering.
 func Minimize(spec Spec) (Result, error) {
-	return minimize(context.Background(), spec, true)
+	return minimize(context.Background(), spec, logic.SolverBB)
 }
 
 // MinimizeHeuristic computes a hazard-free cover using only the greedy
@@ -276,7 +276,7 @@ func Minimize(spec Spec) (Result, error) {
 // products. It mirrors the fast-heuristic mode of the Theobald–Nowick
 // minimizer the paper's tool chain uses.
 func MinimizeHeuristic(spec Spec) (Result, error) {
-	return minimize(context.Background(), spec, false)
+	return minimize(context.Background(), spec, logic.SolverGreedy)
 }
 
 // MinimizeCtx is Minimize with cooperative cancellation: the context is
@@ -286,35 +286,41 @@ func MinimizeHeuristic(spec Spec) (Result, error) {
 // minimization promptly. A cancelled call returns ctx.Err(); partial
 // results are discarded, never cached (see internal/memo).
 func MinimizeCtx(ctx context.Context, spec Spec) (Result, error) {
-	return minimize(ctx, spec, true)
+	return minimize(ctx, spec, logic.SolverBB)
 }
 
 // MinimizeHeuristicCtx is MinimizeHeuristic with the cancellation
 // behaviour of MinimizeCtx.
 func MinimizeHeuristicCtx(ctx context.Context, spec Spec) (Result, error) {
-	return minimize(ctx, spec, false)
+	return minimize(ctx, spec, logic.SolverGreedy)
 }
 
-func minimize(ctx context.Context, spec Spec, exact bool) (Result, error) {
+// MinimizeSolver is MinimizeCtx with an explicit covering backend: the
+// branch-and-bound reference, the pseudo-Boolean solver, the racing
+// portfolio, or the greedy heuristic (which reports Exact=false). Exact
+// backends produce bit-identical covers whenever the search completes, so
+// the choice affects speed, not results (see logic.SolvePortfolio).
+func MinimizeSolver(ctx context.Context, spec Spec, solver logic.Solver) (Result, error) {
+	return minimize(ctx, spec, solver)
+}
+
+// Covering derives the unate covering problem behind a spec's exact
+// minimization: the analysis result with dhf-primes generated, and the
+// matrix in which every required cube (row) must be contained in at least
+// one chosen dhf-prime (column), costed to minimize products first and
+// literals second. The returned problem has no Cancel or Budget set;
+// callers configure both. Exported for the covering benchmarks and the
+// worst-case capture tool (scripts/capturecover).
+func Covering(spec Spec) (Result, *logic.CoveringProblem, error) {
 	res, err := Analyze(spec)
 	if err != nil {
-		return res, err
+		return res, nil, err
 	}
 	if len(res.Required) == 0 {
-		res.Cover = logic.Cover{N: spec.N}
-		res.Exact = true
-		return res, nil
-	}
-	if err := ctx.Err(); err != nil {
-		return res, err
+		return res, &logic.CoveringProblem{}, nil
 	}
 	res.Primes = dhfPrimes(res.Required, res.OffSet, res.Privileged)
-	if err := ctx.Err(); err != nil {
-		return res, err
-	}
-	// Build the covering problem: every required cube needs one containing
-	// dhf-prime.
-	prob := &logic.CoveringProblem{NumCols: len(res.Primes), Cancel: ctx.Err}
+	prob := &logic.CoveringProblem{NumCols: len(res.Primes)}
 	prob.Cost = make([]int, len(res.Primes))
 	const productWeight = 1 << 12 // lexicographic: products dominate literals
 	for i, p := range res.Primes {
@@ -328,18 +334,29 @@ func minimize(ctx context.Context, spec Spec, exact bool) (Result, error) {
 			}
 		}
 		if len(row) == 0 {
-			return res, fmt.Errorf("%w: required cube %s uncoverable", ErrInfeasible, r)
+			return res, nil, fmt.Errorf("%w: required cube %s uncoverable", ErrInfeasible, r)
 		}
 		prob.Rows = append(prob.Rows, row)
 	}
-	var cols []int
-	if exact {
-		cols, exact = prob.Solve()
-		res.Exact = exact
-	} else {
-		cols = prob.SolveGreedy()
-		res.Exact = false
+	return res, prob, nil
+}
+
+func minimize(ctx context.Context, spec Spec, solver logic.Solver) (Result, error) {
+	res, prob, err := Covering(spec)
+	if err != nil {
+		return res, err
 	}
+	if len(res.Required) == 0 {
+		res.Cover = logic.Cover{N: spec.N}
+		res.Exact = true
+		return res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	prob.Cancel = ctx.Err
+	cols, exact := prob.SolveWith(solver)
+	res.Exact = exact
 	// A cancelled covering search returns its fallback solution; discard
 	// it — a cancelled job must not observe (or cache) partial answers.
 	if err := ctx.Err(); err != nil {
@@ -390,24 +407,41 @@ func dhfPrimes(required []logic.Cube, off logic.Cover, priv []Privileged) []logi
 	for _, p := range primes {
 		emit(p)
 	}
-	// Keep only maximal cubes.
-	var maximal []logic.Cube
+	// Keep only maximal cubes: a cube is dropped iff strictly contained in
+	// another (out is duplicate-free, so containment between distinct
+	// entries is always strict). Strict containment implies strictly fewer
+	// literals, so every container of a cube — in particular a maximal one —
+	// has already been processed when cubes are visited in ascending
+	// literal-count order. Testing only against the maximal-so-far set
+	// makes the filter O(|out|·|maximal|) instead of O(|out|²), which is
+	// the difference between milliseconds and seconds on GCD's exploded
+	// prime sets. Emission order of the survivors is preserved.
+	lits := make([]int, len(out))
+	order := make([]int, len(out))
 	for i, p := range out {
-		isMax := true
-		for j, q := range out {
-			if i == j {
-				continue
-			}
-			if q.Contains(p) && !p.Contains(q) {
-				isMax = false
-				break
-			}
-			if q.Equal(p) && j < i {
-				isMax = false
+		lits[i] = p.Literals()
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return lits[order[a]] < lits[order[b]] })
+	isMax := make([]bool, len(out))
+	var maxIdx []int
+	for _, i := range order {
+		p := out[i]
+		contained := false
+		for _, j := range maxIdx {
+			if out[j].Contains(p) {
+				contained = true
 				break
 			}
 		}
-		if isMax {
+		if !contained {
+			isMax[i] = true
+			maxIdx = append(maxIdx, i)
+		}
+	}
+	maximal := make([]logic.Cube, 0, len(maxIdx))
+	for i, p := range out {
+		if isMax[i] {
 			maximal = append(maximal, p)
 		}
 	}

@@ -1,0 +1,67 @@
+package hfmin
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// specJSON is the on-disk form of a Spec used by test fixtures and the
+// scripts/capturecover worst-case capture tool. Cubes use their string
+// form ("01-…": 0, 1 or dash per variable), which is stable, diffable and
+// independent of the internal mask representation.
+type specJSON struct {
+	Comment     string           `json:"comment,omitempty"`
+	N           int              `json:"n"`
+	Transitions []transitionJSON `json:"transitions"`
+}
+
+type transitionJSON struct {
+	Kind  int    `json:"kind"`
+	Start string `json:"start"`
+	End   string `json:"end"`
+}
+
+// MarshalSpec serializes a spec (plus an optional comment) as indented
+// JSON.
+func MarshalSpec(spec Spec, comment string) ([]byte, error) {
+	out := specJSON{Comment: comment, N: spec.N}
+	for _, t := range spec.Transitions {
+		out.Transitions = append(out.Transitions, transitionJSON{
+			Kind:  int(t.Kind),
+			Start: t.Start.String(),
+			End:   t.End.String(),
+		})
+	}
+	data, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// UnmarshalSpec parses a spec serialized by MarshalSpec.
+func UnmarshalSpec(data []byte) (Spec, error) {
+	var in specJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return Spec{}, err
+	}
+	spec := Spec{N: in.N}
+	for i, t := range in.Transitions {
+		start, err := logic.ParseCube(t.Start)
+		if err != nil {
+			return Spec{}, fmt.Errorf("hfmin: transition %d start: %w", i, err)
+		}
+		end, err := logic.ParseCube(t.End)
+		if err != nil {
+			return Spec{}, fmt.Errorf("hfmin: transition %d end: %w", i, err)
+		}
+		spec.Transitions = append(spec.Transitions, Transition{
+			Start: start,
+			End:   end,
+			Kind:  Kind(t.Kind),
+		})
+	}
+	return spec, nil
+}

@@ -1,0 +1,84 @@
+package hfmin
+
+import (
+	"context"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// worstSpecFixture loads the captured GCD worst-case minimization spec —
+// the single slowest output of the three paper benchmarks (regenerate with
+// scripts/capturecover -spec-fixture).
+func worstSpecFixture(tb testing.TB) Spec {
+	tb.Helper()
+	data, err := os.ReadFile("testdata/gcd_worst_spec.json")
+	if err != nil {
+		tb.Fatalf("fixture: %v (regenerate with scripts/capturecover)", err)
+	}
+	spec, err := UnmarshalSpec(data)
+	if err != nil {
+		tb.Fatalf("fixture: %v", err)
+	}
+	return spec
+}
+
+// TestWorstCaseSpecSolvers asserts every exact covering backend minimizes
+// the GCD worst spec to the same cost, with the portfolio bit-identical to
+// sequential B&B.
+func TestWorstCaseSpecSolvers(t *testing.T) {
+	spec := worstSpecFixture(t)
+	bb, err := MinimizeSolver(context.Background(), spec, logic.SolverBB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bb.Exact {
+		t.Fatal("bb minimize inexact on the worst spec")
+	}
+
+	pb, err := MinimizeSolver(context.Background(), spec, logic.SolverPB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pb.Exact {
+		t.Fatal("pb minimize inexact on the worst spec")
+	}
+	if pb.Products() != bb.Products() || pb.Literals() != bb.Literals() {
+		t.Errorf("pb cover %d products/%d literals, bb %d/%d",
+			pb.Products(), pb.Literals(), bb.Products(), bb.Literals())
+	}
+
+	pf, err := MinimizeSolver(context.Background(), spec, logic.SolverPortfolio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pf.Exact {
+		t.Fatal("portfolio minimize inexact on the worst spec")
+	}
+	if !reflect.DeepEqual(pf.Cover, bb.Cover) {
+		t.Errorf("portfolio cover differs from sequential B&B:\n got: %v\nwant: %v", pf.Cover, bb.Cover)
+	}
+}
+
+// BenchmarkMinimizeWorstCase times the full hazard-free minimization of the
+// GCD worst spec per covering backend — the end-to-end number behind the
+// EXPERIMENTS.md before/after table.
+func BenchmarkMinimizeWorstCase(b *testing.B) {
+	spec := worstSpecFixture(b)
+	for _, s := range []logic.Solver{logic.SolverBB, logic.SolverPB, logic.SolverPortfolio} {
+		b.Run(s.String(), func(b *testing.B) {
+			var res Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = MinimizeSolver(context.Background(), spec, s)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Products()), "products")
+			b.ReportMetric(float64(res.Literals()), "literals")
+		})
+	}
+}

@@ -12,6 +12,7 @@ package logic
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -181,14 +182,7 @@ func (c Cube) Literals() int {
 	return int(c.n) - popcount(both)
 }
 
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
-}
+func popcount(x uint64) int { return bits.OnesCount64(x) }
 
 // Contains reports whether c contains d (d is a subcube of c). An empty d is
 // contained in everything of the same arity.

@@ -1,0 +1,329 @@
+package logic
+
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// SolvePB solves the covering problem with the pseudo-Boolean backend: the
+// instance is treated as a monotone SAT formula (one positive clause per
+// row) with a linear cost objective. The search runs DPLL-style unit
+// propagation with chronological backtracking and tightens the cost bound
+// incrementally — every model found lowers the admissible cost strictly, so
+// an exhausted search proves optimality. The returned cover is PB's own
+// optimal model; use SolvePortfolio for covers bit-identical to Solve.
+func (p *CoveringProblem) SolvePB() ([]int, bool) {
+	cols, exact, _ := p.solvePB(p.Cancel)
+	return cols, exact
+}
+
+// Ternary assignment values.
+const (
+	pbValueUnset int8 = 0
+	pbValueTrue  int8 = 1
+	pbValueFalse int8 = -1
+)
+
+// pbSearch is the PB/SAT solver state. Covering instances are monotone
+// (all literals positive), which simplifies propagation: a row conflicts
+// only when all of its columns are false, and becomes unit when exactly one
+// non-false column remains while none is true.
+type pbSearch struct {
+	nRows, nCols int
+	cost         []int
+	rowList      [][]int // row → columns
+	colList      [][]int // column → rows
+
+	value   []int8
+	satBy   []int // row → number of chosen (true) columns
+	free    []int // row → number of non-false columns
+	unsat   int   // rows with satBy == 0
+	curCost int
+
+	// Trail of assignments; decisions are flagged so chronological
+	// backtracking can flip the most recent open decision to false.
+	trail []int32
+	isDec []bool
+
+	queue []int32 // pending forced-true assignments (unit rows)
+
+	best     []int
+	bestCost int // strict upper bound: searching for cost < bestCost
+
+	steps      int64
+	nextCancel int64
+	budget     int64
+	cancel     func() error
+	aborted    bool
+
+	// Independent-row lower-bound scratch (epoch-stamped).
+	used      []int64
+	usedEpoch int64
+}
+
+// solvePB returns PB's optimal cover, whether the search completed, and the
+// proven optimal cost (valid only when exact). The initial incumbent is the
+// greedy cover, so even an aborted search returns a feasible cover.
+func (p *CoveringProblem) solvePB(cancel func() error) (cols []int, exact bool, optCost int) {
+	for _, r := range p.Rows {
+		if len(r) == 0 {
+			return nil, false, 0
+		}
+	}
+	cost := p.unitOr()
+	greedy := p.greedy(cost)
+	s := &pbSearch{
+		nRows:  len(p.Rows),
+		nCols:  p.NumCols,
+		cost:   cost,
+		budget: int64(p.budget()),
+		cancel: cancel,
+	}
+	s.rowList = make([][]int, s.nRows)
+	s.colList = make([][]int, s.nCols)
+	for r, row := range p.Rows {
+		lst := append([]int(nil), row...)
+		sort.Ints(lst)
+		// Deduplicate defensively; duplicate entries would corrupt the
+		// free/satBy counters.
+		uniq := lst[:0]
+		for i, c := range lst {
+			if i == 0 || c != lst[i-1] {
+				uniq = append(uniq, c)
+			}
+		}
+		s.rowList[r] = uniq
+		for _, c := range uniq {
+			s.colList[c] = append(s.colList[c], r)
+		}
+	}
+	s.value = make([]int8, s.nCols)
+	s.satBy = make([]int, s.nRows)
+	s.free = make([]int, s.nRows)
+	for r := range s.free {
+		s.free[r] = len(s.rowList[r])
+	}
+	s.unsat = s.nRows
+	s.used = make([]int64, s.nCols)
+	s.best = append([]int(nil), greedy...)
+	s.bestCost = totalCost(greedy, cost)
+	s.search()
+	sort.Ints(s.best)
+	obs.Add("solver/pb/solves", 1)
+	obs.Add("solver/pb/steps", s.steps)
+	return s.best, !s.aborted, s.bestCost
+}
+
+// assign pushes one assignment onto the trail and updates the row
+// counters. Returns false on conflict (an unsatisfied row ran out of
+// columns, or the partial cost can no longer beat the incumbent).
+func (s *pbSearch) assign(c int32, val int8, decision bool) bool {
+	s.steps++
+	s.value[c] = val
+	s.trail = append(s.trail, c)
+	s.isDec = append(s.isDec, decision)
+	ok := true
+	if val == pbValueTrue {
+		s.curCost += s.cost[c]
+		for _, r := range s.colList[c] {
+			if s.satBy[r] == 0 {
+				s.unsat--
+			}
+			s.satBy[r]++
+		}
+		if s.curCost >= s.bestCost {
+			ok = false
+		}
+	} else {
+		for _, r := range s.colList[c] {
+			s.free[r]--
+			if s.satBy[r] == 0 {
+				if s.free[r] == 0 {
+					ok = false
+				} else if s.free[r] == 1 {
+					// Unit row: its last non-false column is forced true.
+					s.queue = append(s.queue, int32(r))
+				}
+			}
+		}
+	}
+	return ok
+}
+
+// unassign pops the top trail entry.
+func (s *pbSearch) unassign() (c int32, wasDec bool, val int8) {
+	n := len(s.trail) - 1
+	c = s.trail[n]
+	wasDec = s.isDec[n]
+	s.trail = s.trail[:n]
+	s.isDec = s.isDec[:n]
+	val = s.value[c]
+	s.value[c] = pbValueUnset
+	if val == pbValueTrue {
+		s.curCost -= s.cost[c]
+		for _, r := range s.colList[c] {
+			s.satBy[r]--
+			if s.satBy[r] == 0 {
+				s.unsat++
+			}
+		}
+	} else {
+		for _, r := range s.colList[c] {
+			s.free[r]++
+		}
+	}
+	return c, wasDec, val
+}
+
+// propagate drains the unit-row queue. Returns false on conflict.
+func (s *pbSearch) propagate() bool {
+	for len(s.queue) > 0 {
+		r := int(s.queue[0])
+		s.queue = s.queue[:copy(s.queue, s.queue[1:])]
+		if s.satBy[r] > 0 || s.free[r] != 1 {
+			continue // satisfied or re-touched since enqueued
+		}
+		forced := int32(-1)
+		for _, c := range s.rowList[r] {
+			if s.value[c] == pbValueUnset {
+				forced = int32(c)
+				break
+			}
+		}
+		if forced < 0 {
+			return false
+		}
+		if !s.assign(forced, pbValueTrue, false) {
+			return false
+		}
+	}
+	return true
+}
+
+// backtrack unwinds the trail to the most recent open decision and flips it
+// to false (as a forced assignment). Returns false when no open decision
+// remains: the search space is exhausted.
+func (s *pbSearch) backtrack() bool {
+	s.queue = s.queue[:0]
+	for len(s.trail) > 0 {
+		c, wasDec, val := s.unassign()
+		if wasDec && val == pbValueTrue {
+			return s.assign(c, pbValueFalse, false) && s.propagate()
+		}
+	}
+	return false
+}
+
+// lowerBound is the independent-row bound over unsatisfied rows: rows
+// sharing no unassigned column each need their cheapest unassigned column.
+func (s *pbSearch) lowerBound() int {
+	s.usedEpoch++
+	epoch := s.usedEpoch
+	lb := 0
+	for r := 0; r < s.nRows; r++ {
+		if s.satBy[r] > 0 {
+			continue
+		}
+		indep := true
+		minC := -1
+		for _, c := range s.rowList[r] {
+			if s.value[c] != pbValueUnset {
+				continue
+			}
+			if s.used[c] == epoch {
+				indep = false
+				break
+			}
+			if minC < 0 || s.cost[c] < minC {
+				minC = s.cost[c]
+			}
+		}
+		if !indep || minC < 0 {
+			continue
+		}
+		for _, c := range s.rowList[r] {
+			if s.value[c] == pbValueUnset {
+				s.used[c] = epoch
+			}
+		}
+		lb += minC
+	}
+	return lb
+}
+
+// decide picks the unassigned column covering the most unsatisfied rows per
+// unit cost (ties: lowest index) and assigns it true as a decision.
+func (s *pbSearch) decide() bool {
+	bestCol, bestScore := int32(-1), -1.0
+	for c := 0; c < s.nCols; c++ {
+		if s.value[c] != pbValueUnset {
+			continue
+		}
+		cnt := 0
+		for _, r := range s.colList[c] {
+			if s.satBy[r] == 0 {
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			continue
+		}
+		if score := float64(cnt) / float64(s.cost[c]); score > bestScore {
+			bestScore, bestCol = score, int32(c)
+		}
+	}
+	if bestCol < 0 {
+		// No unassigned column touches an unsatisfied row; with unsat > 0
+		// this is a conflict (should have been caught by propagation).
+		return false
+	}
+	return s.assign(bestCol, pbValueTrue, true)
+}
+
+func (s *pbSearch) search() {
+	conflict := false
+	for {
+		if s.steps > s.budget {
+			s.aborted = true
+			return
+		}
+		if s.cancel != nil && s.steps >= s.nextCancel {
+			s.nextCancel = s.steps + cancelCheckInterval
+			if s.cancel() != nil {
+				s.aborted = true
+				return
+			}
+		}
+		if conflict {
+			if !s.backtrack() {
+				if len(s.trail) == 0 {
+					return // exhausted: best is proven optimal
+				}
+				continue // flip caused a new conflict; backtrack again
+			}
+			conflict = false
+			continue
+		}
+		if s.unsat == 0 {
+			// Model found. Cost tightening: record it, require strictly
+			// cheaper covers from now on, and continue as if conflicting.
+			s.best = s.best[:0]
+			for c := 0; c < s.nCols; c++ {
+				if s.value[c] == pbValueTrue {
+					s.best = append(s.best, c)
+				}
+			}
+			s.bestCost = s.curCost
+			conflict = true
+			continue
+		}
+		if s.curCost+s.lowerBound() >= s.bestCost {
+			conflict = true
+			continue
+		}
+		if !s.decide() || !s.propagate() {
+			conflict = true
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package logic
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// errRaceLost cancels a portfolio leg whose result can no longer matter.
+var errRaceLost = errors.New("logic: covering race lost")
+
+// SolvePortfolio races the branch-and-bound and pseudo-Boolean backends on
+// the internal/par pool and returns the first proven-optimal answer,
+// cancelling the loser. Results are deterministic and bit-identical to
+// sequential Solve whenever Solve is exact:
+//
+//   - B&B finishes first: its cover is canonical by construction, and the
+//     still-running PB leg is cancelled.
+//   - PB finishes first: its proven optimal cost is published to the B&B
+//     leg, which stops as soon as its incumbent reaches that cost — the
+//     incumbent is then the first optimal cover in B&B's fixed branch
+//     order, i.e. exactly Solve's answer. If B&B instead exhausts its step
+//     budget, a guided B&B re-run (upper bound optCost+1, stopping at the
+//     first cover of the proven cost) reconstructs the canonical cover.
+//
+// Inexact outcomes (both legs hit their budget) return the B&B leg's best
+// incumbent, matching sequential Solve's fallback behaviour.
+func (p *CoveringProblem) SolvePortfolio() (cols []int, exact bool) {
+	for _, r := range p.Rows {
+		if len(r) == 0 {
+			return nil, false
+		}
+	}
+	obs.Add("solver/portfolio/solves", 1)
+
+	// hint carries PB's proven optimal cost to the B&B leg (-1 until
+	// proven). raceLost[i] flips when leg i's result can no longer matter.
+	var hint atomic.Int64
+	hint.Store(-1)
+	var raceLost [2]atomic.Bool
+	legCancel := func(i int) func() error {
+		return func() error {
+			if raceLost[i].Load() {
+				return errRaceLost
+			}
+			if p.Cancel != nil {
+				return p.Cancel()
+			}
+			return nil
+		}
+	}
+
+	type legResult struct {
+		cols     []int
+		exact    bool
+		usedHint bool
+		optCost  int
+	}
+	const (
+		legBB = 0
+		legPB = 1
+	)
+	results, _ := par.NamedMap("covering-race", 2, []int{legBB, legPB}, func(_ int, leg int) (legResult, error) {
+		switch leg {
+		case legBB:
+			cols, exact, usedHint := p.solveBB(legCancel(legBB), &hint)
+			if exact && !usedHint {
+				// B&B won outright; PB's proof is no longer needed.
+				raceLost[legPB].Store(true)
+			}
+			return legResult{cols: cols, exact: exact, usedHint: usedHint}, nil
+		default:
+			cols, exact, optCost := p.solvePB(legCancel(legPB))
+			if exact {
+				// Publish the proven optimum; the B&B leg early-stops once
+				// its incumbent matches it.
+				hint.Store(int64(optCost))
+			}
+			return legResult{cols: cols, exact: exact, optCost: optCost}, nil
+		}
+	})
+	bb, pb := results[legBB], results[legPB]
+
+	switch {
+	case bb.exact && !bb.usedHint:
+		obs.Add("solver/bb/wins", 1)
+		obs.Add("solver/cancels", 1) // PB leg cancelled
+		return bb.cols, true
+	case bb.exact && bb.usedHint:
+		// PB proved the optimum first; B&B's early-stopped incumbent is
+		// the canonical cover.
+		obs.Add("solver/pb/wins", 1)
+		return bb.cols, true
+	case pb.exact:
+		// B&B blew its budget but PB proved the optimal cost: reconstruct
+		// the canonical cover with a guided B&B run.
+		obs.Add("solver/pb/wins", 1)
+		cols, exact := p.solveBBGuided(p.Cancel, pb.optCost)
+		return cols, exact
+	default:
+		// Neither leg completed; fall back to B&B's incumbent, which
+		// matches sequential Solve's inexact fallback.
+		return bb.cols, false
+	}
+}

@@ -1,0 +1,312 @@
+package logic
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// randomProblem builds a feasible random covering instance with weighted
+// costs in the shape hfmin produces (large product weight + literal count).
+func randomProblem(r *rand.Rand, nRows, nCols int) *CoveringProblem {
+	p := &CoveringProblem{NumCols: nCols, Cost: make([]int, nCols)}
+	for c := 0; c < nCols; c++ {
+		p.Cost[c] = 1<<12 + r.Intn(12)
+	}
+	for i := 0; i < nRows; i++ {
+		var row []int
+		for c := 0; c < nCols; c++ {
+			if r.Intn(4) == 0 {
+				row = append(row, c)
+			}
+		}
+		if len(row) == 0 {
+			row = []int{r.Intn(nCols)}
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	return p
+}
+
+func coverCost(p *CoveringProblem, cols []int) int {
+	t := 0
+	for _, c := range cols {
+		if p.Cost != nil {
+			t += p.Cost[c]
+		} else {
+			t++
+		}
+	}
+	return t
+}
+
+func assertIsCover(t *testing.T, p *CoveringProblem, cols []int, who string) {
+	t.Helper()
+	chosen := map[int]bool{}
+	for _, c := range cols {
+		chosen[c] = true
+	}
+	for ri, row := range p.Rows {
+		hit := false
+		for _, c := range row {
+			if chosen[c] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Fatalf("%s: returned set %v does not cover row %d (%v)", who, cols, ri, row)
+		}
+	}
+}
+
+// TestSolverCrossCheck is the covering-solver cross-check corpus: on random
+// weighted instances every exact backend must agree on the optimal cover
+// cost, and the portfolio must reproduce sequential B&B's cover
+// bit-identically.
+func TestSolverCrossCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 120; iter++ {
+		p := randomProblem(r, 2+r.Intn(12), 2+r.Intn(20))
+
+		bb, bbExact := p.Solve()
+		pb, pbExact := p.SolvePB()
+		pf, pfExact := p.SolvePortfolio()
+		greedy := p.SolveGreedy()
+
+		if !bbExact || !pbExact || !pfExact {
+			t.Fatalf("iter %d: exact flags bb=%v pb=%v portfolio=%v, want all true", iter, bbExact, pbExact, pfExact)
+		}
+		assertIsCover(t, p, bb, "bb")
+		assertIsCover(t, p, pb, "pb")
+		assertIsCover(t, p, pf, "portfolio")
+		assertIsCover(t, p, greedy, "greedy")
+
+		bbCost, pbCost := coverCost(p, bb), coverCost(p, pb)
+		if bbCost != pbCost {
+			t.Errorf("iter %d: bb cost %d != pb cost %d", iter, bbCost, pbCost)
+		}
+		if coverCost(p, greedy) < bbCost {
+			t.Errorf("iter %d: greedy cover cheaper than proven optimum", iter)
+		}
+		if !reflect.DeepEqual(pf, bb) {
+			t.Errorf("iter %d: portfolio cover %v != sequential bb cover %v", iter, pf, bb)
+		}
+	}
+}
+
+// TestSolverCrossCheckUnitCosts runs the corpus against brute force on
+// small unit-cost instances, where optimal size is independently checkable.
+func TestSolverCrossCheckUnitCosts(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 80; iter++ {
+		nc := 2 + r.Intn(6)
+		p := &CoveringProblem{NumCols: nc}
+		for i := 0; i < 1+r.Intn(7); i++ {
+			var row []int
+			for c := 0; c < nc; c++ {
+				if r.Intn(2) == 0 {
+					row = append(row, c)
+				}
+			}
+			if len(row) == 0 {
+				row = []int{r.Intn(nc)}
+			}
+			p.Rows = append(p.Rows, row)
+		}
+		want := bruteForceCover(p)
+		for _, s := range []Solver{SolverBB, SolverPB, SolverPortfolio} {
+			cols, exact := p.SolveWith(s)
+			if !exact {
+				t.Fatalf("iter %d: %v inexact on tiny instance", iter, s)
+			}
+			assertIsCover(t, p, cols, s.String())
+			if len(cols) != want {
+				t.Errorf("iter %d: %v found %d cols, brute force %d", iter, s, len(cols), want)
+			}
+		}
+	}
+}
+
+// TestPortfolioDeterministic: repeated portfolio solves of one instance
+// return byte-identical covers regardless of race outcomes.
+func TestPortfolioDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	p := randomProblem(r, 14, 24)
+	want, exact := p.Solve()
+	if !exact {
+		t.Fatal("reference solve inexact")
+	}
+	for i := 0; i < 25; i++ {
+		got, exact := p.SolvePortfolio()
+		if !exact {
+			t.Fatalf("run %d: portfolio inexact", i)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d: portfolio cover %v != %v", i, got, want)
+		}
+	}
+}
+
+// TestSolverInfeasible: every backend reports an uncoverable row the same
+// way.
+func TestSolverInfeasible(t *testing.T) {
+	p := &CoveringProblem{NumCols: 2, Rows: [][]int{{0}, {}}}
+	for _, s := range []Solver{SolverBB, SolverPB, SolverGreedy, SolverPortfolio} {
+		if cols, exact := p.SolveWith(s); cols != nil || exact {
+			t.Errorf("%v on infeasible: cols=%v exact=%v, want nil false", s, cols, exact)
+		}
+	}
+}
+
+// TestSolverBudget: a tiny step budget aborts the exact searches but still
+// returns a feasible (greedy-seeded) cover flagged inexact.
+func TestSolverBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p := randomProblem(r, 30, 60)
+	p.Budget = 4
+	for _, s := range []Solver{SolverBB, SolverPB} {
+		cols, exact := p.SolveWith(s)
+		if exact {
+			t.Errorf("%v: 4-step budget should not complete a 30×60 search", s)
+		}
+		assertIsCover(t, p, cols, s.String())
+	}
+}
+
+// TestSolverCancel: a cancelled problem aborts promptly and reports
+// inexact.
+func TestSolverCancel(t *testing.T) {
+	errStop := errors.New("stop")
+	r := rand.New(rand.NewSource(5))
+	p := randomProblem(r, 30, 60)
+	p.Cancel = func() error { return errStop }
+	for _, s := range []Solver{SolverBB, SolverPB, SolverPortfolio} {
+		cols, exact := p.SolveWith(s)
+		// With an immediately-failing Cancel the search may still finish
+		// within the first poll interval; all that is required is that an
+		// aborted result is feasible and inexactness is never hidden.
+		if exact && s != SolverPortfolio {
+			// The 30×60 instance needs far more than one poll interval.
+			t.Logf("%v finished before the first cancel poll", s)
+		}
+		if cols != nil {
+			assertIsCover(t, p, cols, s.String())
+		}
+	}
+}
+
+// TestParseSolver covers the CLI name mapping.
+func TestParseSolver(t *testing.T) {
+	for name, want := range map[string]Solver{
+		"": SolverBB, "bb": SolverBB, "pb": SolverPB,
+		"greedy": SolverGreedy, "portfolio": SolverPortfolio,
+	} {
+		got, err := ParseSolver(name)
+		if err != nil || got != want {
+			t.Errorf("ParseSolver(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseSolver("z3"); err == nil {
+		t.Error("ParseSolver(z3) should fail")
+	}
+	for _, s := range []Solver{SolverBB, SolverPB, SolverGreedy, SolverPortfolio} {
+		back, err := ParseSolver(s.String())
+		if err != nil || back != s {
+			t.Errorf("round-trip %v failed: %v, %v", s, back, err)
+		}
+	}
+}
+
+// TestColumnDominance: a strictly dominated column (same coverage, higher
+// cost) is never chosen.
+func TestColumnDominance(t *testing.T) {
+	p := &CoveringProblem{
+		NumCols: 3,
+		// Column 0 covers rows {0,1} at cost 5; column 1 covers {0,1} at
+		// cost 3; column 2 covers {2}.
+		Rows: [][]int{{0, 1}, {0, 1}, {2}},
+		Cost: []int{5, 3, 1},
+	}
+	cols, exact := p.Solve()
+	if !exact {
+		t.Fatal("inexact")
+	}
+	want := []int{1, 2}
+	if !reflect.DeepEqual(cols, want) {
+		t.Errorf("cols = %v, want %v", cols, want)
+	}
+}
+
+// worstCoverFixture loads the captured GCD worst-case covering matrix.
+func worstCoverFixture(tb testing.TB) *CoveringProblem {
+	tb.Helper()
+	data, err := os.ReadFile("testdata/gcd_worst_cover.json")
+	if err != nil {
+		tb.Fatalf("fixture: %v (regenerate with scripts/capturecover)", err)
+	}
+	var f struct {
+		NumCols int     `json:"num_cols"`
+		Rows    [][]int `json:"rows"`
+		Cost    []int   `json:"cost"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		tb.Fatalf("fixture: %v", err)
+	}
+	return &CoveringProblem{NumCols: f.NumCols, Rows: f.Rows, Cost: f.Cost}
+}
+
+// BenchmarkCoveringWorstCase times each backend on the captured GCD worst
+// covering matrix (44 rows × 133 columns) — the instance behind the slowest
+// hfmin output of the three paper benchmarks. scripts/verify.sh records the
+// trajectory in BENCH_covering.json.
+func BenchmarkCoveringWorstCase(b *testing.B) {
+	p := worstCoverFixture(b)
+	for _, s := range []Solver{SolverBB, SolverPB, SolverPortfolio, SolverGreedy} {
+		b.Run(s.String(), func(b *testing.B) {
+			var cols []int
+			for i := 0; i < b.N; i++ {
+				cols, _ = p.SolveWith(s)
+			}
+			b.ReportMetric(float64(len(cols)), "cover-cols")
+			b.ReportMetric(float64(coverCost(p, cols)), "cover-cost")
+		})
+	}
+}
+
+// TestGCDWorstCaseFixture cross-checks all backends on the captured GCD
+// worst covering instance: equal optimal cost, portfolio bit-identical to
+// sequential B&B, exact status preserved.
+func TestGCDWorstCaseFixture(t *testing.T) {
+	p := worstCoverFixture(t)
+	bb, bbExact := p.Solve()
+	if !bbExact {
+		t.Fatal("bb inexact on the GCD worst instance")
+	}
+	assertIsCover(t, p, bb, "bb")
+	bbCost := coverCost(p, bb)
+
+	pb, pbExact := p.SolvePB()
+	if !pbExact {
+		t.Fatal("pb inexact on the GCD worst instance")
+	}
+	assertIsCover(t, p, pb, "pb")
+	if c := coverCost(p, pb); c != bbCost {
+		t.Errorf("pb cost %d != bb cost %d", c, bbCost)
+	}
+
+	pf, pfExact := p.SolvePortfolio()
+	if !pfExact {
+		t.Fatal("portfolio inexact on the GCD worst instance")
+	}
+	if !reflect.DeepEqual(pf, bb) {
+		t.Errorf("portfolio cover %v != bb cover %v", pf, bb)
+	}
+
+	if g := coverCost(p, p.SolveGreedy()); g < bbCost {
+		t.Errorf("greedy cover cheaper (%d) than proven optimum (%d)", g, bbCost)
+	}
+}

@@ -11,10 +11,13 @@
 //
 // A problem is identified by the SHA-256 hash of the canonical form of its
 // hfmin.Spec (transitions sorted by the total order on (kind, start, end)
-// cube keys — see hfmin.Spec.Canonical) together with the exact/heuristic
-// solver flag and a package-version salt. Logically identical specs collide
-// regardless of construction order; bumping Salt when minimizer behaviour
-// changes invalidates every previously persisted entry.
+// cube keys — see hfmin.Spec.Canonical) together with the covering backend
+// (logic.Solver), logic.SolverVersion and a package-version salt. Logically
+// identical specs collide regardless of construction order; bumping Salt or
+// logic.SolverVersion when minimizer or solver behaviour changes
+// invalidates every previously persisted entry rather than silently
+// replaying stale covers. The backend is part of the key because inexact
+// outcomes (budget-limited searches) may legitimately differ per backend.
 //
 // # In-memory cache and deduplication
 //
@@ -57,12 +60,15 @@ import (
 	"sync/atomic"
 
 	"repro/internal/hfmin"
+	"repro/internal/logic"
 	"repro/internal/obs"
 )
 
 // Salt versions the cache key space. Bump it whenever hfmin's observable
 // behaviour changes (covers, tie-breaks, cost weights, ...), so persisted
-// entries from older minimizers are ignored rather than replayed.
+// entries from older minimizers are ignored rather than replayed. The
+// covering solvers version themselves through logic.SolverVersion, which
+// Key folds in alongside this salt.
 const Salt = "memo-v1/hfmin-v1"
 
 // numShards bounds lock contention between concurrent hfmin workers; keys
@@ -81,7 +87,8 @@ type Stats struct {
 // is not usable; call New. A nil *Cache is a valid pass-through that
 // memoizes nothing.
 type Cache struct {
-	dir    string // persistent cache directory; empty = in-memory only
+	dir    string       // persistent cache directory; empty = in-memory only
+	solver logic.Solver // covering backend for exact minimizations
 	shards [numShards]shard
 
 	hits       atomic.Int64
@@ -111,12 +118,21 @@ type entry struct {
 // directory is created if needed); the empty string selects in-memory-only
 // operation.
 func New(dir string) (*Cache, error) {
+	return NewSolver(dir, logic.SolverBB)
+}
+
+// NewSolver is New with an explicit covering backend for the exact
+// minimizations routed through the cache. The backend is fixed at
+// construction because it is part of every cache key — entries computed by
+// different backends are never shared (exact results would be identical,
+// but budget-limited inexact ones may not be).
+func NewSolver(dir string, solver logic.Solver) (*Cache, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("memo: cache dir: %w", err)
 		}
 	}
-	c := &Cache{dir: dir}
+	c := &Cache{dir: dir, solver: solver}
 	for i := range c.shards {
 		c.shards[i].m = map[[sha256.Size]byte]*entry{}
 	}
@@ -152,7 +168,9 @@ func (c *Cache) MinimizeCtx(ctx context.Context, spec hfmin.Spec) (hfmin.Result,
 	if c == nil {
 		return hfmin.MinimizeCtx(ctx, spec)
 	}
-	return c.get(ctx, spec, true, hfmin.MinimizeCtx)
+	return c.get(ctx, spec, c.solver, func(ctx context.Context, s hfmin.Spec) (hfmin.Result, error) {
+		return hfmin.MinimizeSolver(ctx, s, c.solver)
+	})
 }
 
 // MinimizeHeuristic is hfmin.MinimizeHeuristic behind the cache; the
@@ -162,26 +180,24 @@ func (c *Cache) MinimizeHeuristic(spec hfmin.Spec) (hfmin.Result, error) {
 	if c == nil {
 		return hfmin.MinimizeHeuristic(spec)
 	}
-	return c.get(context.Background(), spec, false, hfmin.MinimizeHeuristicCtx)
+	return c.get(context.Background(), spec, logic.SolverGreedy, hfmin.MinimizeHeuristicCtx)
 }
 
-// Key returns the content-addressed cache key of (spec, exact): the
-// SHA-256 hash of the version salt, the solver flag and the canonical
-// transition list. Exported for tests and diagnostics.
-func Key(spec hfmin.Spec, exact bool) [sha256.Size]byte {
+// Key returns the content-addressed cache key of (spec, solver): the
+// SHA-256 hash of the version salt, logic.SolverVersion, the covering
+// backend id and the canonical transition list. Exported for tests and
+// diagnostics.
+func Key(spec hfmin.Spec, solver logic.Solver) [sha256.Size]byte {
 	canon := spec.Canonical()
 	h := sha256.New()
 	h.Write([]byte(Salt))
+	h.Write([]byte("/" + logic.SolverVersion))
 	var buf [8]byte
 	put := func(v uint64) {
 		binary.LittleEndian.PutUint64(buf[:], v)
 		h.Write(buf[:])
 	}
-	flag := uint64(0)
-	if exact {
-		flag = 1
-	}
-	put(flag)
+	put(uint64(solver))
 	put(uint64(canon.N))
 	put(uint64(len(canon.Transitions)))
 	for _, t := range canon.Transitions {
@@ -203,8 +219,8 @@ func Key(spec hfmin.Spec, exact bool) [sha256.Size]byte {
 // (or panic) vacate their entry instead of filling it, so a cancelled job
 // never poisons the key for other jobs; waiters on a vacated entry retry
 // the lookup from scratch.
-func (c *Cache) get(ctx context.Context, spec hfmin.Spec, exact bool, solve func(context.Context, hfmin.Spec) (hfmin.Result, error)) (hfmin.Result, error) {
-	key := Key(spec, exact)
+func (c *Cache) get(ctx context.Context, spec hfmin.Spec, solver logic.Solver, solve func(context.Context, hfmin.Spec) (hfmin.Result, error)) (hfmin.Result, error) {
+	key := Key(spec, solver)
 	sh := &c.shards[key[0]%numShards]
 	for {
 		sh.mu.Lock()

@@ -52,16 +52,19 @@ func mustCache(t *testing.T, dir string) *Cache {
 func TestKeyOrderIndependent(t *testing.T) {
 	a := simpleSpec()
 	b := hfmin.Spec{N: 2, Transitions: []hfmin.Transition{a.Transitions[1], a.Transitions[0]}}
-	if Key(a, true) != Key(b, true) {
+	if Key(a, logic.SolverBB) != Key(b, logic.SolverBB) {
 		t.Error("reordered spec must produce the same key")
 	}
-	if Key(a, true) == Key(a, false) {
+	if Key(a, logic.SolverBB) == Key(a, logic.SolverGreedy) {
 		t.Error("exact and heuristic keys must differ")
+	}
+	if Key(a, logic.SolverBB) == Key(a, logic.SolverPortfolio) {
+		t.Error("different exact backends must not share keys")
 	}
 	c := simpleSpec()
 	c.Transitions[0].Kind = hfmin.Static0
 	c.Transitions[1].Kind = hfmin.Static1
-	if Key(a, true) == Key(c, true) {
+	if Key(a, logic.SolverBB) == Key(c, logic.SolverBB) {
 		t.Error("different specs must produce different keys")
 	}
 }

@@ -49,6 +49,7 @@ import (
 	"repro/internal/cdfg"
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/logic"
 	"repro/internal/obs"
 	"repro/internal/synth"
 	"repro/internal/timing"
@@ -116,6 +117,11 @@ type Config struct {
 	// Minimizer, when non-nil, is the shared hazard-free minimization
 	// cache every job routes through (typically a memo.Cache).
 	Minimizer synth.Minimizer
+	// Solver selects the covering backend for exact minimizations when no
+	// Minimizer is configured (a memo cache fixes its backend at
+	// construction; see memo.NewSolver). Zero value is the
+	// branch-and-bound reference.
+	Solver logic.Solver
 }
 
 func (c Config) withDefaults() Config {
@@ -409,6 +415,7 @@ func (m *Manager) synthesize(ctx context.Context, job *Job) ([]byte, error) {
 		Transform:   transform.DefaultOptions(),
 		Parallelism: perJob,
 		Minimizer:   m.cfg.Minimizer,
+		Solver:      m.cfg.Solver,
 	}
 	s, err := core.RunCtx(ctx, job.graph, opts)
 	if err != nil {

@@ -101,7 +101,17 @@ func SynthesizeMemo(m *bm.Machine, workers int, min Minimizer) (*Result, error) 
 // inside the minimizer itself (hfmin.MinimizeCtx, or min's MinimizeCtx
 // when it implements MinimizerCtx), so a cancelled job releases its pool
 // workers promptly. A cancelled synthesis returns ctx.Err().
-func SynthesizeCtx(ctx context.Context, m *bm.Machine, workers int, min Minimizer) (_ *Result, err error) {
+func SynthesizeCtx(ctx context.Context, m *bm.Machine, workers int, min Minimizer) (*Result, error) {
+	return SynthesizeSolver(ctx, m, workers, min, logic.SolverBB)
+}
+
+// SynthesizeSolver is SynthesizeCtx with an explicit covering backend for
+// the exact minimizations (see logic.Solver). The backend only applies on
+// the direct hfmin path (min == nil); a supplied Minimizer carries its own
+// backend configuration (internal/memo's cache is constructed with one).
+// Exact backends are bit-identical whenever their search completes, so the
+// solver choice affects wall time, not synthesized logic.
+func SynthesizeSolver(ctx context.Context, m *bm.Machine, workers int, min Minimizer, solver logic.Solver) (_ *Result, err error) {
 	sp := obs.Start("synth", m.Name)
 	defer func() { sp.EndErr(err) }()
 	c, err := Concretize(m)
@@ -147,7 +157,7 @@ func SynthesizeCtx(ctx context.Context, m *bm.Machine, workers int, min Minimize
 				lastErr = encErr
 				continue
 			}
-			res, err := synthesizeWith(ctx, c, enc, len(reach), true, a.strict, a.feedback, workers, min)
+			res, err := synthesizeWith(ctx, c, enc, len(reach), true, a.strict, a.feedback, workers, min, solver)
 			if err == nil {
 				res.Controller = m.Name
 				recordSynth(res)
@@ -164,7 +174,7 @@ func SynthesizeCtx(ctx context.Context, m *bm.Machine, workers int, min Minimize
 			if enc == nil {
 				enc = sequentialEncoding(c, reach, bits)
 			}
-			res, err := synthesizeWith(ctx, c, enc, bits, false, a.strict, a.feedback, workers, min)
+			res, err := synthesizeWith(ctx, c, enc, bits, false, a.strict, a.feedback, workers, min, solver)
 			if err == nil {
 				res.Controller = m.Name
 				recordSynth(res)
@@ -240,7 +250,7 @@ func oneHotEncoding(reach []int) (map[int]uint64, error) {
 // minimizations are independent (they only read the shared concretized
 // machine and encoding) and fan out across `workers` goroutines; exact
 // minimizations go through min when one is supplied.
-func synthesizeWith(ctx context.Context, c *Concrete, enc map[int]uint64, bits int, oneHot, strict, feedback bool, workers int, min Minimizer) (*Result, error) {
+func synthesizeWith(ctx context.Context, c *Concrete, enc map[int]uint64, bits int, oneHot, strict, feedback bool, workers int, min Minimizer, solver logic.Solver) (*Result, error) {
 	obs.Add("synth/attempts", 1)
 	vars, varIdx := variableOrder(c, bits, feedback)
 	n := len(vars)
@@ -332,7 +342,7 @@ func synthesizeWith(ctx context.Context, c *Concrete, enc map[int]uint64, bits i
 			}
 		}
 		hf := true
-		minimize := func(s hfmin.Spec) (hfmin.Result, error) { return hfmin.MinimizeCtx(ctx, s) }
+		minimize := func(s hfmin.Spec) (hfmin.Result, error) { return hfmin.MinimizeSolver(ctx, s, solver) }
 		if min != nil {
 			if mc, ok := min.(MinimizerCtx); ok {
 				minimize = func(s hfmin.Spec) (hfmin.Result, error) { return mc.MinimizeCtx(ctx, s) }

@@ -25,4 +25,27 @@ go test -race -run 'TestServerSmoke' -count=1 ./cmd/asyncsynthd
 echo "== server cancellation (DELETE frees pool workers without failing"
 echo "   the other in-flight jobs; asserted via obs pool gauges)"
 go test -race -run 'TestCancelFreesWorkersWithoutFailingOthers|TestHTTPBackpressureAndCancel' -count=1 ./internal/service
+echo "== covering solver cross-check (bb/pb/portfolio agree; portfolio"
+echo "   bit-identical to sequential B&B, corpus + GCD worst fixture +"
+echo "   full pipeline on all three benchmarks)"
+go test -race -run 'TestSolverCrossCheck|TestPortfolioDeterministic|TestGCDWorstCaseFixture' -count=1 ./internal/logic
+go test -race -run 'TestWorstCaseSpecSolvers' -count=1 ./internal/hfmin
+go test -race -run 'TestPortfolioSolverEquivalence' -count=1 .
+echo "== covering worst-case benchmarks (appending to BENCH_covering.json)"
+bench_out=$(go test -run '^$' -bench 'BenchmarkCoveringWorstCase|BenchmarkMinimizeWorstCase' \
+	-benchtime 20x ./internal/logic ./internal/hfmin)
+echo "$bench_out"
+{
+	printf '{"date":"%s","commit":"%s","ns_per_op":{' \
+		"$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+	echo "$bench_out" | awk '
+		/^Benchmark(Covering|Minimize)WorstCase\// {
+			name = $1
+			sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
+			if (n++) printf(",")
+			printf("\"%s\":%d", name, $3)
+		}
+		END { print "}}" }'
+} >>BENCH_covering.json
 echo "== verify: OK"
