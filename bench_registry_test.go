@@ -1,0 +1,29 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// BenchmarkRegistryFullFlow runs the complete flow (GT + extraction + LT)
+// over every design in the benchmark registry — the hand-built classics
+// and the ADL-compiled EWF/AR alike — so new registry entries are
+// benchmarked without touching this file.
+func BenchmarkRegistryFullFlow(b *testing.B) {
+	for _, bm := range bench.All() {
+		bm := bm
+		b.Run(bm.Name, func(b *testing.B) {
+			var channels int
+			for i := 0; i < b.N; i++ {
+				s, err := core.Run(bm.Build(), core.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				channels = s.Channels()
+			}
+			b.ReportMetric(float64(channels), "channels")
+		})
+	}
+}

@@ -14,6 +14,7 @@
 //	asyncsynth explore [bench]     design-space exploration sweep
 //	asyncsynth dot cdfg|afsm [bench] [-level L]   Graphviz output
 //	asyncsynth export [bench]      print the CDFG as interchange JSON
+//	asyncsynth compile [file.adl]  compile ADL source to interchange JSON
 //	asyncsynth synthdoc [bench]    print the synthesis result document
 //
 // The global -j N flag bounds the worker pool used for per-controller
@@ -36,24 +37,30 @@
 // -metrics table's memo/hits, memo/misses, memo/dedup-waits and
 // memo/disk-hits counters show the cache's effect.
 //
-// Benchmarks: diffeq (default), gcd, fir.
+// Benchmarks come from the internal/bench registry: diffeq (default),
+// gcd, fir, plus ewf and ar compiled from the ADL sources in examples/.
+// Everywhere a benchmark name is accepted, a path to an .adl file works
+// too — the source is compiled by internal/frontend and its reference
+// registers come from the sequential interpreter.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers the /debug/pprof handlers for -pprof
 	"os"
+	"strings"
 
+	"repro/internal/bench"
 	"repro/internal/cdfg"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/diffeq"
 	"repro/internal/explore"
-	"repro/internal/fir"
-	"repro/internal/gcd"
+	"repro/internal/frontend"
 	"repro/internal/logic"
 	"repro/internal/memo"
 	"repro/internal/obs"
@@ -145,6 +152,8 @@ func run() int {
 		err = dot(args)
 	case "export":
 		err = doExport(args)
+	case "compile":
+		err = doCompile(args)
 	case "synthdoc":
 		err = synthdoc(args)
 	default:
@@ -237,11 +246,14 @@ commands:
   gates [bench]             simulate the synthesized logic as gates
   export [bench]            print the CDFG as interchange JSON (the
                             document asyncsynthd's POST /v1/jobs accepts)
+  compile [-check] [file.adl]  compile ADL behavioral source (stdin if no
+                            file) to interchange JSON; -check only verifies
   synthdoc [bench]          run the flow locally, print the synthesis
                             result document asyncsynthd would serve
   dot cdfg|afsm|channels [bench]  Graphviz output (after full optimization)
 
-benchmarks: diffeq (default), gcd, fir`)
+benchmarks: diffeq (default), gcd, fir, ewf, ar — or a path to an .adl
+source file anywhere a benchmark name is accepted`)
 }
 
 // defaultOpts is core.DefaultOptions with the -j worker-pool bound, the
@@ -255,24 +267,30 @@ func defaultOpts() core.Options {
 	return opt
 }
 
+// buildBench resolves a benchmark argument: a name from the registry
+// (internal/bench), or a path to an .adl source compiled on the spot with
+// the sequential interpreter providing the reference registers.
 func buildBench(name string) (*cdfg.Graph, []string, map[string]float64, error) {
-	switch name {
-	case "", "diffeq":
-		p := diffeq.DefaultParams()
-		ref := diffeq.Reference(p)
-		return diffeq.Build(p), diffeq.FUs,
-			map[string]float64{"X": ref["X"], "Y": ref["Y"], "U": ref["U"]}, nil
-	case "gcd":
-		return gcd.Build(123, 45), gcd.FUs,
-			map[string]float64{"a": gcd.Reference(123, 45)}, nil
-	case "fir":
-		fp := fir.DefaultParams()
-		fref := fir.Reference(fp)
-		return fir.Build(fp), fir.FUs,
-			map[string]float64{"s": fref["s"], "i": fref["i"]}, nil
-	default:
-		return nil, nil, nil, fmt.Errorf("unknown benchmark %q", name)
+	if name == "" {
+		name = "diffeq"
 	}
+	if strings.HasSuffix(name, ".adl") {
+		g, err := frontend.CompileFile(name)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		want, err := frontend.Interpret(g)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return g, g.FUs, want, nil
+	}
+	b, ok := bench.Lookup(name)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("unknown benchmark %q (have %s, or a path to an .adl file)",
+			name, strings.Join(bench.Names(), ", "))
+	}
+	return b.Build(), b.FUs, b.Want(), nil
 }
 
 func benchArg(args []string) string {
@@ -531,6 +549,46 @@ func verilog(args []string) error {
 		fmt.Println(v)
 	}
 	return nil
+}
+
+// doCompile compiles ADL behavioral source (a file argument, or stdin
+// when the argument is absent or "-") and prints the CDFG as interchange
+// JSON — the document every downstream surface accepts. With -check it
+// only reports whether the source compiles.
+func doCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ContinueOnError)
+	check := fs.Bool("check", false, "verify the source compiles; print a summary instead of JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := fs.Arg(0)
+	var src []byte
+	var err error
+	name := path
+	if path == "" || path == "-" {
+		name = "<stdin>"
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	g, err := frontend.Compile(name, src)
+	if err != nil {
+		return err
+	}
+	if *check {
+		fmt.Printf("%s: design %q ok: %d units, %d nodes, %d arcs\n",
+			name, g.Name, len(g.FUs), len(g.Nodes()), len(g.Arcs()))
+		return nil
+	}
+	data, err := codec.EncodeGraph(g)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
 }
 
 // doExport prints a benchmark's CDFG as the versioned interchange JSON —

@@ -9,9 +9,14 @@
 //
 // API:
 //
-//	POST   /v1/jobs              submit an interchange CDFG document
-//	                             (asyncsynth export emits one); optional
-//	                             ?level= selects the optimization level
+//	POST   /v1/jobs              submit a design; optional ?level= selects
+//	                             the optimization level. The body is
+//	                             negotiated on Content-Type: JSON (or no
+//	                             header) is an interchange CDFG document
+//	                             (asyncsynth export emits one); text/x-adl
+//	                             (also text/adl, text/plain) is ADL
+//	                             behavioral source compiled on submission
+//	                             (asyncsynth compile checks one locally)
 //	GET    /v1/jobs/{id}         poll job state (result embedded when done)
 //	GET    /v1/jobs/{id}/result  the synthesis document, byte-for-byte
 //	DELETE /v1/jobs/{id}         cancel a queued or running job

@@ -13,13 +13,16 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/examples"
 )
 
 // TestServerSmoke is the end-to-end smoke test scripts/verify.sh runs:
 // build the real binaries, start the daemon on a kernel-assigned port,
-// submit the DIFFEQ CDFG over HTTP, poll the job to completion, assert
-// the served synthesis document (netlists included) is bit-identical to
-// a direct local run, and shut the daemon down gracefully with SIGTERM.
+// submit the DIFFEQ CDFG over HTTP as JSON and the EWF design as ADL
+// text, poll both jobs to completion, assert each served synthesis
+// document (netlists included) is bit-identical to a direct local run,
+// and shut the daemon down gracefully with SIGTERM.
 func TestServerSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and execs binaries")
@@ -68,62 +71,82 @@ func TestServerSmoke(t *testing.T) {
 	}
 	go io.Copy(io.Discard, stdout) // keep the pipe drained
 
-	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(graph))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var st struct {
-		ID    string `json:"id"`
-		State string `json:"state"`
-		Error string `json:"error"`
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit: %d %s", resp.StatusCode, body)
-	}
-	if err := json.Unmarshal(body, &st); err != nil {
-		t.Fatal(err)
-	}
-
-	deadline := time.Now().Add(60 * time.Second)
-	for st.State != "done" {
-		if st.State == "failed" || st.State == "cancelled" {
-			t.Fatalf("job reached %s: %s", st.State, st.Error)
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job stuck in %s", st.State)
-		}
-		time.Sleep(20 * time.Millisecond)
-		resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, st.ID))
+	// runJob submits a body under contentType, polls it to completion and
+	// returns the raw served synthesis document.
+	runJob := func(contentType string, payload []byte) []byte {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/jobs", contentType, bytes.NewReader(payload))
 		if err != nil {
 			t.Fatal(err)
 		}
-		body, _ = io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err := json.Unmarshal(body, &st); err != nil {
-			t.Fatalf("poll: %v (%s)", err, body)
+		var st struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+			Error string `json:"error"`
 		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit (%s): %d %s", contentType, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for st.State != "done" {
+			if st.State == "failed" || st.State == "cancelled" {
+				t.Fatalf("job reached %s: %s", st.State, st.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job stuck in %s", st.State)
+			}
+			time.Sleep(20 * time.Millisecond)
+			resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, st.ID))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err := json.Unmarshal(body, &st); err != nil {
+				t.Fatalf("poll: %v (%s)", err, body)
+			}
+		}
+		resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s/result", base, st.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		served, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return served
 	}
 
-	resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s/result", base, st.ID))
-	if err != nil {
-		t.Fatal(err)
-	}
-	served, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if !bytes.Equal(served, want) {
+	if served := runJob("application/json", graph); !bytes.Equal(served, want) {
 		t.Fatal("served synthesis document is not bit-identical to the direct run")
 	}
 
+	// The ADL text path: submit the EWF source; the served document must
+	// match a local `asyncsynth synthdoc ewf` (which compiles the same
+	// embedded source through the benchmark registry).
+	adl, err := examples.ADL.ReadFile("ewf.adl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEWF, err := exec.Command(cli, "synthdoc", "ewf").Output()
+	if err != nil {
+		t.Fatalf("synthdoc ewf: %v", err)
+	}
+	if served := runJob("text/x-adl", adl); !bytes.Equal(served, wantEWF) {
+		t.Fatal("ADL-submitted synthesis document is not bit-identical to the local run")
+	}
+
 	// /metrics exposes the service counters.
-	resp, err = http.Get(base + "/metrics")
+	resp, err := http.Get(base + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
 	metrics, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if !strings.Contains(string(metrics), `asyncsynth_counter_total{name="service/jobs_completed"} 1`) {
+	if !strings.Contains(string(metrics), `asyncsynth_counter_total{name="service/jobs_completed"} 2`) {
 		t.Fatalf("metrics missing completion counter:\n%s", metrics)
 	}
 

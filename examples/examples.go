@@ -1,0 +1,16 @@
+// Package examples holds the runnable example programs (subdirectories)
+// and the stock .adl benchmark sources compiled by the ADL frontend. The
+// .adl files are embedded so the benchmark registry (internal/bench) and
+// the verification suite can compile the canonical sources without
+// depending on the working directory.
+package examples
+
+import "embed"
+
+// ADL holds every .adl design source shipped with the repo. These are
+// the canonical texts: internal/bench compiles them into the stock EWF
+// and AR benchmarks, and scripts/verify.sh asserts each one compiles and
+// round-trips through the interchange codec byte-identically.
+//
+//go:embed *.adl
+var ADL embed.FS

@@ -2,6 +2,35 @@ package cdfg
 
 import "fmt"
 
+// BlockDesc renders a human-readable description of block b for
+// diagnostics: the top-level block is named as such, loop and if blocks
+// carry their condition register (the construct a user wrote), so error
+// messages from Validate can point at source constructs instead of bare
+// block numbers. Frontends lean on this to turn structural failures into
+// source-level diagnostics.
+func (g *Graph) BlockDesc(b int) string {
+	if b < 0 || b >= len(g.Blocks) {
+		return fmt.Sprintf("block %d (unknown)", b)
+	}
+	blk := g.Blocks[b]
+	switch blk.Kind {
+	case BlockTop:
+		return "top-level block"
+	case BlockLoop, BlockIf:
+		kind := "loop"
+		if blk.Kind == BlockIf {
+			kind = "if"
+		}
+		cond := ""
+		if root := g.Node(blk.Root); root != nil && root.Cond != "" {
+			cond = fmt.Sprintf(" (%s %s)", kind, root.Cond)
+		}
+		return fmt.Sprintf("%s block %d%s", kind, blk.ID, cond)
+	default:
+		return fmt.Sprintf("block %d", b)
+	}
+}
+
 // Validate checks the structural well-formedness of the CDFG:
 //
 //   - every arc's endpoints exist;
@@ -11,6 +40,10 @@ import "fmt"
 //   - operation nodes have statements, control nodes have conditions where
 //     required;
 //   - node firing is well-defined (no node without in-arcs except START).
+//
+// Error messages carry the enclosing block's description (BlockDesc) so
+// callers that map nodes back to source constructs — the text frontend in
+// particular — can report which loop or conditional a failure sits in.
 func (g *Graph) Validate() error {
 	for _, a := range g.Arcs() {
 		from, to := g.Node(a.From), g.Node(a.To)
@@ -25,18 +58,18 @@ func (g *Graph) Validate() error {
 		switch n.Kind {
 		case KindOp, KindAssign:
 			if len(n.Stmts) == 0 {
-				return fmt.Errorf("cdfg: node %d (%s) has no statements", n.ID, n.Kind)
+				return fmt.Errorf("cdfg: node %d (%s) in %s has no statements", n.ID, n.Kind, g.BlockDesc(n.Block))
 			}
 			if n.FU == "" {
-				return fmt.Errorf("cdfg: node %d (%s) not bound to a functional unit", n.ID, n.Label())
+				return fmt.Errorf("cdfg: node %d (%s) in %s not bound to a functional unit", n.ID, n.Label(), g.BlockDesc(n.Block))
 			}
 		case KindLoop, KindIf:
 			if n.Cond == "" {
-				return fmt.Errorf("cdfg: node %d (%s) has no condition register", n.ID, n.Kind)
+				return fmt.Errorf("cdfg: node %d (%s) in %s has no condition register", n.ID, n.Kind, g.BlockDesc(n.Block))
 			}
 		}
 		if n.Kind != KindStart && len(g.In(n.ID)) == 0 {
-			return fmt.Errorf("cdfg: node %d (%s) has no incoming arcs", n.ID, n.Label())
+			return fmt.Errorf("cdfg: node %d (%s) in %s has no incoming arcs", n.ID, n.Label(), g.BlockDesc(n.Block))
 		}
 	}
 	for _, b := range g.Blocks {
@@ -52,10 +85,10 @@ func (g *Graph) Validate() error {
 				}
 			}
 			if repeat != 1 {
-				return fmt.Errorf("cdfg: loop block %d has %d repeat arcs, want 1", b.ID, repeat)
+				return fmt.Errorf("cdfg: %s has %d repeat arcs, want 1", g.BlockDesc(b.ID), repeat)
 			}
 			if enter == 0 {
-				return fmt.Errorf("cdfg: loop block %d has no enter arcs", b.ID)
+				return fmt.Errorf("cdfg: %s has no enter arcs", g.BlockDesc(b.ID))
 			}
 		}
 	}
@@ -74,8 +107,8 @@ func (g *Graph) checkBlockCrossing(a *Arc, from, to *Node) error {
 	if g.isBoundaryOf(from.ID, to.Block) || g.isBoundaryOf(to.ID, from.Block) {
 		return nil
 	}
-	return fmt.Errorf("cdfg: arc %d (n%d→n%d, %s) crosses block boundary %d→%d",
-		a.ID, a.From, a.To, a.Kind, from.Block, to.Block)
+	return fmt.Errorf("cdfg: arc %d (n%d→n%d, %s) crosses from %s into %s",
+		a.ID, a.From, a.To, a.Kind, g.BlockDesc(from.Block), g.BlockDesc(to.Block))
 }
 
 // isBoundaryOf reports whether node id is the root or end of block b or of

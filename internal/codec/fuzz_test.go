@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/diffeq"
 	"repro/internal/gcd"
+	"repro/internal/gen"
 )
 
 // FuzzDecodeGraph hammers the strict decoder with arbitrary bytes. The
@@ -22,6 +23,16 @@ func FuzzDecodeGraph(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	// Randomly generated scheduled graphs widen the corpus beyond the
+	// hand-built benchmark shapes (conditionals, movs, comparison ops).
+	var generated [][]byte
+	for seed := int64(0); seed < 4; seed++ {
+		enc, err := EncodeGraph(gen.Graph(seed))
+		if err != nil {
+			f.Fatal(err)
+		}
+		generated = append(generated, enc)
+	}
 	seeds := [][]byte{
 		valid,
 		valid2,
@@ -35,6 +46,7 @@ func FuzzDecodeGraph(f *testing.F) {
 		bytes.Replace(valid, []byte(`"root"`), []byte(`"loot"`), 1), // unknown field
 		[]byte(`{"version":1,"kind":"cdfg","name":"x","fus":["A"],"start":0,"end":0,"blocks":[{"id":0,"kind":"top","nodes":[0]}],"nodes":[{"id":0,"kind":"start","block":0}],"arcs":[]}`),
 	}
+	seeds = append(seeds, generated...)
 	for _, s := range seeds {
 		f.Add(s)
 	}

@@ -1,0 +1,260 @@
+package frontend
+
+import (
+	"os"
+	"sort"
+
+	"repro/internal/cdfg"
+)
+
+// Compile parses, checks and compiles ADL source into a scheduled CDFG.
+// filename is used in diagnostics only (use any label for in-memory
+// sources). Every failure is a positioned *Error; a returned graph has
+// already passed cdfg.Validate and therefore round-trips through the
+// interchange codec.
+func Compile(filename string, src []byte) (*cdfg.Graph, error) {
+	p := newParser(filename, src)
+	f := p.parseFile()
+	if p.err != nil {
+		return nil, p.err
+	}
+	c := &checker{p: p, f: f}
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	return c.build()
+}
+
+// CompileFile reads and compiles an .adl source file.
+func CompileFile(path string) (*cdfg.Graph, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(path, src)
+}
+
+// checker performs the semantic pass over a parsed design: unit and
+// binding tables, definition-before-use, const-write protection and
+// control-step scheduling.
+type checker struct {
+	p       *parser
+	f       *fileAST
+	units   map[string]bool
+	consts  map[string]bool
+	defined map[string]bool // registers with a value at the current point
+}
+
+func (c *checker) errAt(at pos, code, format string, args ...interface{}) *Error {
+	return errAt(c.p.lx.file, c.p.lx.lines, at.line, at.col, code, format, args...)
+}
+
+func (c *checker) check() error {
+	f := c.f
+	if len(f.units) == 0 {
+		return c.errAt(f.nameAt, CodeEmpty, "design %q declares no functional units", f.name)
+	}
+	c.units = map[string]bool{}
+	for _, u := range f.units {
+		if c.units[u.name] {
+			return c.errAt(u.at, CodeDupUnit, "functional unit %q declared twice", u.name)
+		}
+		c.units[u.name] = true
+	}
+	c.consts = map[string]bool{}
+	c.defined = map[string]bool{}
+	for _, b := range f.consts {
+		if c.defined[b.name] {
+			return c.errAt(b.at, CodeDupBinding, "register %q bound twice", b.name)
+		}
+		c.consts[b.name] = true
+		c.defined[b.name] = true
+	}
+	for _, b := range f.inits {
+		if c.defined[b.name] {
+			return c.errAt(b.at, CodeDupBinding, "register %q bound twice", b.name)
+		}
+		c.defined[b.name] = true
+	}
+	if countOps(f.body) == 0 {
+		return c.errAt(f.nameAt, CodeEmpty, "design %q has no operations", f.name)
+	}
+	return c.checkStmts(f.body)
+}
+
+func countOps(stmts []stmt) int {
+	n := 0
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *opStmt:
+			n++
+		case *blockStmt:
+			n += countOps(s.body)
+		}
+	}
+	return n
+}
+
+// checkStmts walks statements in scheduled order, verifying unit
+// references, const protection and definition-before-use. Writes inside
+// an if body count as defining afterwards (may-define), matching the
+// sequential semantics where the guarded path is the interesting one.
+func (c *checker) checkStmts(stmts []stmt) error {
+	ordered, err := c.schedule(stmts)
+	if err != nil {
+		return err
+	}
+	for _, s := range ordered {
+		switch s := s.(type) {
+		case *opStmt:
+			if !c.units[s.fu] {
+				return c.errAt(s.fuAt, CodeUnknownUnit, "unknown functional unit %q", s.fu)
+			}
+			if c.consts[s.dst] {
+				return c.errAt(s.dstAt, CodeConstWrite, "cannot write to constant register %q", s.dst)
+			}
+			if !c.defined[s.src1] {
+				return c.errAt(s.src1At, CodeUndefRead, "register %q read before it is initialized or written", s.src1)
+			}
+			if !s.mov && !c.defined[s.src2] {
+				return c.errAt(s.src2At, CodeUndefRead, "register %q read before it is initialized or written", s.src2)
+			}
+			c.defined[s.dst] = true
+		case *blockStmt:
+			if !c.units[s.fu] {
+				return c.errAt(s.fuAt, CodeUnknownUnit, "unknown functional unit %q", s.fu)
+			}
+			if !c.defined[s.cond] {
+				return c.errAt(s.condAt, CodeUndefRead, "condition register %q read before it is initialized or written", s.cond)
+			}
+			if err := c.checkStmts(s.body); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// schedule applies explicit @step control-step assignments: within each
+// maximal run of consecutive op/mov statements, either no statement
+// carries a step (source order is the schedule) or every statement does
+// (the run is reordered by ascending step; steps must be unique). Block
+// statements are scheduling barriers and keep their source position.
+func (c *checker) schedule(stmts []stmt) ([]stmt, error) {
+	out := make([]stmt, 0, len(stmts))
+	run := make([]*opStmt, 0, len(stmts))
+	flush := func() error {
+		if len(run) == 0 {
+			return nil
+		}
+		withStep := 0
+		for _, s := range run {
+			if s.hasStep {
+				withStep++
+			}
+		}
+		if withStep != 0 && withStep != len(run) {
+			for _, s := range run {
+				if !s.hasStep {
+					return c.errAt(s.at, CodePartialSched,
+						"statement has no @step but %d of its %d neighbours do: annotate all or none", withStep, len(run))
+				}
+			}
+		}
+		if withStep == len(run) {
+			seen := map[int]*opStmt{}
+			for _, s := range run {
+				if prev, dup := seen[s.step]; dup {
+					return c.errAt(s.stepAt, CodeDupStep,
+						"control step %d already assigned at line %d", s.step, prev.stepAt.line)
+				}
+				seen[s.step] = s
+			}
+			sort.SliceStable(run, func(i, j int) bool { return run[i].step < run[j].step })
+		}
+		for _, s := range run {
+			out = append(out, s)
+		}
+		run = run[:0]
+		return nil
+	}
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *opStmt:
+			run = append(run, s)
+		case *blockStmt:
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// build materializes the checked design through the cdfg.Program builder
+// (which derives all constraint arcs) and validates the result.
+func (c *checker) build() (*cdfg.Graph, error) {
+	f := c.f
+	fus := make([]string, 0, len(f.units))
+	for _, u := range f.units {
+		fus = append(fus, u.name)
+	}
+	pr := cdfg.NewProgram(f.name, fus...)
+	for _, b := range f.consts {
+		pr.Const(b.name)
+		pr.Init(b.name, b.val)
+	}
+	for _, b := range f.inits {
+		pr.Init(b.name, b.val)
+	}
+	if err := c.emit(pr, f.body); err != nil {
+		return nil, err
+	}
+	g, err := pr.Build()
+	if err != nil {
+		// The semantic pass screens every builder precondition, so a
+		// failure here is a structural rejection worth a diagnostic of
+		// its own (and a bug in the checker if it names a precondition).
+		return nil, c.errAt(f.nameAt, CodeStructure, "%v", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, c.errAt(f.nameAt, CodeStructure, "%v", err)
+	}
+	return g, nil
+}
+
+func (c *checker) emit(pr *cdfg.Program, stmts []stmt) error {
+	ordered, err := c.schedule(stmts)
+	if err != nil {
+		return err
+	}
+	for _, s := range ordered {
+		switch s := s.(type) {
+		case *opStmt:
+			if s.mov {
+				pr.Assign(s.fu, s.dst, s.src1)
+			} else {
+				pr.Op(s.fu, s.dst, s.op, s.src1, s.src2)
+			}
+		case *blockStmt:
+			if s.loop {
+				pr.Loop(s.fu, s.cond)
+			} else {
+				pr.If(s.fu, s.cond)
+			}
+			if err := c.emit(pr, s.body); err != nil {
+				return err
+			}
+			if s.loop {
+				pr.EndLoop()
+			} else {
+				pr.EndIf()
+			}
+		}
+	}
+	return nil
+}

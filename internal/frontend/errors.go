@@ -1,0 +1,89 @@
+package frontend
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diagnostic codes. Every compile failure carries exactly one of these;
+// docs/LANGUAGE.md lists a triggering example for each.
+const (
+	// CodeChar reports a character outside the language's alphabet.
+	CodeChar = "ADL001"
+	// CodeNumber reports a malformed numeric literal.
+	CodeNumber = "ADL002"
+	// CodeSyntax reports an unexpected token (the generic parse failure).
+	CodeSyntax = "ADL003"
+	// CodeHeader reports a missing, duplicate or misplaced design header.
+	CodeHeader = "ADL004"
+	// CodeDupUnit reports a functional unit declared twice.
+	CodeDupUnit = "ADL005"
+	// CodeUnknownUnit reports a statement bound to an undeclared unit.
+	CodeUnknownUnit = "ADL006"
+	// CodeConstWrite reports a write to a register declared const.
+	CodeConstWrite = "ADL007"
+	// CodeDupBinding reports a register given a const/init value twice.
+	CodeDupBinding = "ADL008"
+	// CodeUndefRead reports a register read before any init or write.
+	CodeUndefRead = "ADL009"
+	// CodeEmpty reports a design with no operations or no units.
+	CodeEmpty = "ADL010"
+	// CodeUnclosed reports a block left open at end of input.
+	CodeUnclosed = "ADL011"
+	// CodeStructure wraps a cdfg.Validate rejection of the built graph.
+	CodeStructure = "ADL012"
+	// CodePartialSched reports a statement run where only some statements
+	// carry explicit @step control-step assignments.
+	CodePartialSched = "ADL013"
+	// CodeDupStep reports two statements in one run assigned the same
+	// explicit control step.
+	CodeDupStep = "ADL014"
+)
+
+// Error is a positioned compile diagnostic. Every failure surfaced by
+// Compile is one of these (never a bare error), so tools can report the
+// file, line, column, stable code and offending source line.
+type Error struct {
+	// File is the name Compile was given for the source (often a path).
+	File string
+	// Line and Col locate the diagnostic, 1-based. Col 0 means the whole
+	// line.
+	Line, Col int
+	// Code is the stable diagnostic code (one of the ADLxxx constants).
+	Code string
+	// Msg is the human-readable description.
+	Msg string
+	// SrcLine is the offending source line, used to render the snippet.
+	SrcLine string
+}
+
+// Error renders the diagnostic in the conventional file:line:col form
+// followed by a source snippet with a column marker:
+//
+//	ewf.adl:4:9: [ADL006] unknown functional unit "ALU9"
+//	    op ALU9: y = a + b
+//	       ^
+func (e *Error) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%d:%d: [%s] %s", e.File, e.Line, e.Col, e.Code, e.Msg)
+	if e.SrcLine != "" {
+		fmt.Fprintf(&b, "\n\t%s", e.SrcLine)
+		if e.Col > 0 && e.Col <= len(e.SrcLine)+1 {
+			fmt.Fprintf(&b, "\n\t%s^", strings.Repeat(" ", e.Col-1))
+		}
+	}
+	return b.String()
+}
+
+// errAt builds an *Error at a position within src.
+func errAt(file string, src []string, line, col int, code, format string, args ...interface{}) *Error {
+	srcLine := ""
+	if line >= 1 && line <= len(src) {
+		srcLine = src[line-1]
+	}
+	return &Error{
+		File: file, Line: line, Col: col,
+		Code: code, Msg: fmt.Sprintf(format, args...),
+		SrcLine: srcLine,
+	}
+}

@@ -1,0 +1,47 @@
+package frontend_test
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/frontend"
+)
+
+// Compile a tiny two-unit design from ADL text and run the sequential
+// reference interpreter over the resulting scheduled CDFG.
+func ExampleCompile() {
+	src := `design demo
+
+units ALU, MUL
+
+const one = 1, three = 3
+init  x = 2, acc = 0, i = 0, run = 1
+
+loop ALU run {
+    op MUL: sq  = x * x
+    op ALU: acc = acc + sq
+    op ALU: x   = x + one
+    op ALU: i   = i + one
+    op ALU: run = i < three
+}
+`
+	g, err := frontend.Compile("demo.adl", []byte(src))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	regs, err := frontend.Interpret(g)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	names := []string{"acc", "i", "x"}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%s = %v\n", n, regs[n])
+	}
+	// Output:
+	// acc = 29
+	// i = 3
+	// x = 5
+}

@@ -1,0 +1,53 @@
+// Package frontend compiles ADL — a small scheduled-dataflow text
+// language — into the scheduled, resource-bound CDFGs the synthesis
+// pipeline consumes (internal/cdfg). It is the path by which user-written
+// designs, rather than the built-in benchmarks, enter the system: the
+// `asyncsynth compile` subcommand and the job server's text submission
+// path (POST /v1/jobs with Content-Type: text/x-adl) both call Compile.
+//
+// # The language
+//
+// An ADL design names its functional units, binds constants and initial
+// register values, and lists RTL statements in schedule order; loops and
+// conditionals are block-structured. docs/LANGUAGE.md is the full
+// reference (grammar, scheduling rules, every diagnostic); the shape is:
+//
+//	# GCD by repeated subtraction
+//	design gcd
+//	units ALU, CMP
+//	const one = 1
+//	init  a = 123, b = 45, run = 1
+//
+//	loop ALU run {
+//	    op CMP: gt = a > b
+//	    if ALU gt {
+//	        op ALU: a = a - b
+//	    }
+//	    op CMP: lt = a < b
+//	    if ALU lt {
+//	        op ALU: b = b - a
+//	    }
+//	    op CMP: ne = a == b
+//	    op ALU: run = one - ne
+//	}
+//
+// Statements may carry explicit control steps (`op ALU: x = a + b @ 3`);
+// within a run of annotated statements the steps, not the source order,
+// give the schedule.
+//
+// # Diagnostics
+//
+// Every failure is a positioned *Error carrying a stable ADLxxx code, the
+// file/line/column and the offending source line — lexical (ADL001–002),
+// syntactic (ADL003–004, ADL011), semantic (ADL005–010, ADL013–014), and
+// structural rejections from cdfg.Validate (ADL012), whose messages name
+// the enclosing loop/if construct by its condition register.
+//
+// # Semantics
+//
+// A compiled design has the sequential semantics of its statement list
+// (loops run while the condition register is non-zero, sampled at entry
+// and after each iteration; if bodies run when theirs is non-zero at the
+// test). Interpret executes exactly those semantics and is the golden
+// model the synthesized distributed controllers must match.
+package frontend

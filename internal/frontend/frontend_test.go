@@ -1,0 +1,258 @@
+package frontend
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/examples"
+	"repro/internal/cdfg"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/gcd"
+)
+
+// gcdADL is the GCD benchmark re-expressed in ADL; it must behave exactly
+// like the hand-built gcd.Build graph.
+const gcdADL = `design gcd
+
+units ALU, CMP
+
+const one = 1
+init  a = 123, b = 45, run = 1
+
+loop ALU run {
+    op CMP: gt = a > b
+    if ALU gt {
+        op ALU: a = a - b
+    }
+    op CMP: lt = a < b
+    if ALU lt {
+        op ALU: b = b - a
+    }
+    op CMP: ne = a == b
+    op ALU: run = one - ne
+}
+`
+
+func compileString(t *testing.T, src string) *cdfg.Graph {
+	t.Helper()
+	g, err := Compile("test.adl", []byte(src))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return g
+}
+
+func TestCompileGCD(t *testing.T) {
+	g := compileString(t, gcdADL)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+
+	// Structurally equivalent to the hand-built benchmark graph.
+	ref := gcd.Build(123, 45)
+	if got, want := len(g.Nodes()), len(ref.Nodes()); got != want {
+		t.Errorf("nodes = %d, want %d", got, want)
+	}
+	if got, want := len(g.Blocks), len(ref.Blocks); got != want {
+		t.Errorf("blocks = %d, want %d", got, want)
+	}
+
+	// The sequential interpreter agrees with the benchmark's reference.
+	regs, err := Interpret(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := gcd.Reference(123, 45); regs["a"] != want {
+		t.Errorf("a = %v, want %v", regs["a"], want)
+	}
+
+	// And the synthesized distributed control computes the same answer.
+	s, err := core.Run(g, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("core.Run: %v", err)
+	}
+	if err := s.Verify(map[string]float64{"a": gcd.Reference(123, 45)}, 3); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestCompileEmbeddedExamples(t *testing.T) {
+	ents, err := examples.ADL.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) < 2 {
+		t.Fatalf("expected at least 2 embedded .adl sources, found %d", len(ents))
+	}
+	for _, e := range ents {
+		src, err := examples.ADL.ReadFile(e.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Compile(e.Name(), src)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		// Compiled graphs round-trip through the interchange codec
+		// byte-identically.
+		enc1, err := codec.EncodeGraph(g)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", e.Name(), err)
+		}
+		g2, err := codec.DecodeGraph(enc1)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", e.Name(), err)
+		}
+		enc2, err := codec.EncodeGraph(g2)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", e.Name(), err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Errorf("%s: codec round trip is not byte-identical", e.Name())
+		}
+	}
+}
+
+// TestDiagnostics exercises every stable diagnostic code with a minimal
+// triggering source, asserting code and position.
+func TestDiagnostics(t *testing.T) {
+	const prologue = "design d\nunits A\ninit x = 0\n"
+	cases := []struct {
+		name string
+		src  string
+		code string
+		line int
+		col  int
+	}{
+		{"illegal-char-ADL001", prologue + "op A: x = x + $\n", CodeChar, 4, 15},
+		{"bad-number-ADL002", "design d\nunits A\ninit x = 1.\n", CodeNumber, 3, 10},
+		{"bad-step-ADL002", prologue + "op A: x = x + x @ 1.5\n", CodeNumber, 4, 19},
+		{"syntax-ADL003", prologue + "op A x = x + x\n", CodeSyntax, 4, 6},
+		{"missing-header-ADL004", "units A\n", CodeHeader, 1, 1},
+		{"dup-header-ADL004", prologue + "design d2\n", CodeHeader, 4, 1},
+		{"dup-unit-ADL005", "design d\nunits A, A\n", CodeDupUnit, 2, 10},
+		{"unknown-unit-ADL006", prologue + "op B: x = x + x\n", CodeUnknownUnit, 4, 4},
+		{"const-write-ADL007", "design d\nunits A\nconst k = 2\nop A: k = k + k\n", CodeConstWrite, 4, 7},
+		{"dup-binding-ADL008", "design d\nunits A\ninit x = 1, x = 2\n", CodeDupBinding, 3, 13},
+		{"undef-read-ADL009", prologue + "op A: x = x + y\n", CodeUndefRead, 4, 15},
+		{"undef-cond-ADL009", prologue + "loop A go {\nop A: x = x + x\n}\n", CodeUndefRead, 4, 8},
+		{"no-units-ADL010", "design d\n", CodeEmpty, 1, 8},
+		{"no-ops-ADL010", "design d\nunits A\n", CodeEmpty, 1, 8},
+		{"unclosed-ADL011", prologue + "loop A x {\nop A: x = x + x\n", CodeUnclosed, 6, 1},
+		{"partial-sched-ADL013", prologue + "op A: x = x + x @ 1\nop A: x = x + x\n", CodePartialSched, 5, 1},
+		{"dup-step-ADL014", prologue + "op A: x = x + x @ 1\nop A: x = x + x @ 1\n", CodeDupStep, 5, 17},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile("test.adl", []byte(tc.src))
+			if err == nil {
+				t.Fatal("compile unexpectedly succeeded")
+			}
+			var e *Error
+			if !errors.As(err, &e) {
+				t.Fatalf("error is %T, want *frontend.Error", err)
+			}
+			if e.Code != tc.code {
+				t.Fatalf("code = %s, want %s (err: %v)", e.Code, tc.code, e)
+			}
+			if e.Line != tc.line || e.Col != tc.col {
+				t.Errorf("position = %d:%d, want %d:%d (err: %v)", e.Line, e.Col, tc.line, tc.col, e)
+			}
+			if e.File != "test.adl" {
+				t.Errorf("file = %q", e.File)
+			}
+		})
+	}
+}
+
+func TestErrorRendering(t *testing.T) {
+	_, err := Compile("bad.adl", []byte("design d\nunits A\ninit x = 0\nop ZZ: x = x + x\n"))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"bad.adl:4:4:",
+		"[ADL006]",
+		"op ZZ: x = x + x", // source snippet
+		"\n\t   ^",         // caret under column 4
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("rendered error missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+// Explicit @step annotations reorder a run of statements; the two
+// spellings below must compile to identical graphs.
+func TestStepScheduling(t *testing.T) {
+	inOrder := "design d\nunits A\nconst one = 1\ninit x = 3, y = 0\n" +
+		"op A: x = x + one\nop A: y = x * x\n"
+	annotated := "design d\nunits A\nconst one = 1\ninit x = 3, y = 0\n" +
+		"op A: y = x * x @ 2\nop A: x = x + one @ 1\n"
+
+	g1 := compileString(t, inOrder)
+	g2 := compileString(t, annotated)
+	enc1, err := codec.EncodeGraph(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := codec.EncodeGraph(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Error("@step-annotated source compiled to a different graph than source order")
+	}
+	regs, err := Interpret(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x advances to 4 first (@1), then y = 16 (@2).
+	if regs["y"] != 16 {
+		t.Errorf("y = %v, want 16", regs["y"])
+	}
+}
+
+// Steps reorder only within a run: a block is a barrier.
+func TestStepBarrier(t *testing.T) {
+	src := "design d\nunits A\nconst one = 1\ninit x = 1, run = 1\n" +
+		"op A: x = x + one @ 5\n" +
+		"loop A run {\nop A: run = run - one\n}\n" +
+		"op A: x = x * x @ 1\n"
+	g := compileString(t, src)
+	regs, err := Interpret(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The @1 op stays after the loop: x = (1+1) then squared = 4. If steps
+	// leaked across the barrier it would be (1*1)+1 = 2.
+	if regs["x"] != 4 {
+		t.Errorf("x = %v, want 4", regs["x"])
+	}
+}
+
+func TestCompileFile(t *testing.T) {
+	g, err := CompileFile("../../examples/ewf.adl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "ewf" {
+		t.Errorf("name = %q, want ewf", g.Name)
+	}
+	if _, err := CompileFile("../../examples/does-not-exist.adl"); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestInterpretNonTerminating(t *testing.T) {
+	src := "design d\nunits A\nconst one = 1\ninit run = 1, x = 0\n" +
+		"loop A run {\nop A: x = x + one\n}\n"
+	g := compileString(t, src)
+	if _, err := Interpret(g); err == nil {
+		t.Error("expected non-termination error")
+	}
+}

@@ -1,0 +1,131 @@
+package frontend
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cdfg"
+)
+
+// MaxInterpSteps bounds the number of node executions Interpret performs
+// before declaring the design non-terminating.
+const MaxInterpSteps = 1 << 22
+
+// Interpret executes a scheduled CDFG with the language's sequential
+// reference semantics — statements in program order, loops while the
+// condition register is non-zero, if bodies when theirs is — and returns
+// the final register file. This is the golden model for any graph the
+// frontend compiles (and for any well-formed scheduled CDFG): every
+// synthesized distributed implementation must produce the same registers.
+//
+// Designs that exceed MaxInterpSteps node executions (a loop whose
+// condition never falls) return an error instead of hanging.
+func Interpret(g *cdfg.Graph) (map[string]float64, error) {
+	regs := map[string]float64{}
+	for k, v := range g.Init {
+		regs[k] = v
+	}
+	it := &interp{g: g, regs: regs}
+	if err := it.block(0); err != nil {
+		return nil, err
+	}
+	return regs, nil
+}
+
+type interp struct {
+	g     *cdfg.Graph
+	regs  map[string]float64
+	steps int
+}
+
+// block executes one block's nodes in program order. Loop and if roots
+// live in the parent block; their bodies are the sub-blocks they root.
+func (it *interp) block(b int) error {
+	nodes := append([]*cdfg.Node(nil), it.g.BlockNodes(b)...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Order < nodes[j].Order })
+	for _, n := range nodes {
+		if it.steps++; it.steps > MaxInterpSteps {
+			return fmt.Errorf("frontend: interpretation exceeded %d steps (non-terminating loop?)", MaxInterpSteps)
+		}
+		switch n.Kind {
+		case cdfg.KindOp, cdfg.KindAssign:
+			for _, s := range n.Stmts {
+				it.exec(s)
+			}
+		case cdfg.KindLoop:
+			sub := it.subBlock(n.ID)
+			if sub < 0 {
+				return fmt.Errorf("frontend: loop node %d has no block", n.ID)
+			}
+			for it.regs[n.Cond] != 0 {
+				if err := it.block(sub); err != nil {
+					return err
+				}
+				if it.steps++; it.steps > MaxInterpSteps {
+					return fmt.Errorf("frontend: interpretation exceeded %d steps (non-terminating loop?)", MaxInterpSteps)
+				}
+			}
+		case cdfg.KindIf:
+			sub := it.subBlock(n.ID)
+			if sub < 0 {
+				return fmt.Errorf("frontend: if node %d has no block", n.ID)
+			}
+			if it.regs[n.Cond] != 0 {
+				if err := it.block(sub); err != nil {
+					return err
+				}
+			}
+		}
+		// START/END and block end nodes execute nothing.
+	}
+	return nil
+}
+
+// subBlock finds the block rooted at node id.
+func (it *interp) subBlock(id cdfg.NodeID) int {
+	for _, b := range it.g.Blocks {
+		if b.Kind != cdfg.BlockTop && b.Root == id {
+			return b.ID
+		}
+	}
+	return -1
+}
+
+func (it *interp) exec(s cdfg.Stmt) {
+	a := it.regs[s.Src1]
+	switch s.Op {
+	case cdfg.OpMov:
+		it.regs[s.Dst] = a
+		return
+	}
+	b := it.regs[s.Src2]
+	switch s.Op {
+	case cdfg.OpAdd:
+		it.regs[s.Dst] = a + b
+	case cdfg.OpSub:
+		it.regs[s.Dst] = a - b
+	case cdfg.OpMul:
+		it.regs[s.Dst] = a * b
+	case cdfg.OpLT:
+		it.regs[s.Dst] = b2f(a < b)
+	case cdfg.OpGT:
+		it.regs[s.Dst] = b2f(a > b)
+	case cdfg.OpEQ:
+		it.regs[s.Dst] = b2f(a == b)
+	case cdfg.OpMod:
+		// Matches the simulators' convention: x % 0 = 0.
+		ai, bi := int64(a), int64(b)
+		if bi == 0 {
+			it.regs[s.Dst] = 0
+		} else {
+			it.regs[s.Dst] = float64(ai % bi)
+		}
+	}
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

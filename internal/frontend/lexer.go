@@ -1,0 +1,213 @@
+package frontend
+
+import (
+	"strings"
+)
+
+// tokKind enumerates lexical token classes.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIdent  // design, units, op, register names, ...
+	tokNumber // 0.25, -3, 1e-3
+	tokAssign // =
+	tokColon  // :
+	tokComma  // ,
+	tokLBrace // {
+	tokRBrace // }
+	tokAt     // @
+	tokOp     // + - * < > == %
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokNewline:
+		return "end of line"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokAssign:
+		return `"="`
+	case tokColon:
+		return `":"`
+	case tokComma:
+		return `","`
+	case tokLBrace:
+		return `"{"`
+	case tokRBrace:
+		return `"}"`
+	case tokAt:
+		return `"@"`
+	case tokOp:
+		return "operator"
+	default:
+		return "token"
+	}
+}
+
+// token is one lexeme with its source position (1-based line and column).
+type token struct {
+	kind      tokKind
+	text      string
+	line, col int
+}
+
+// lexer tokenizes ADL source. Statements are newline-terminated; '#'
+// starts a comment running to end of line; blank lines are skipped by the
+// parser (they still produce tokNewline so positions stay exact).
+type lexer struct {
+	file  string
+	lines []string // source split into lines, for snippets
+	src   string
+	pos   int // byte offset
+	line  int // 1-based
+	col   int // 1-based
+	err   *Error
+}
+
+func newLexer(file string, src []byte) *lexer {
+	s := string(src)
+	return &lexer{
+		file:  file,
+		lines: strings.Split(s, "\n"),
+		src:   s,
+		line:  1,
+		col:   1,
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans one token. On a lexical error it records l.err and returns
+// an EOF token; the parser surfaces the recorded error.
+func (l *lexer) next() token {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance(1)
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '\n':
+			t := token{kind: tokNewline, text: "\\n", line: l.line, col: l.col}
+			l.pos++
+			l.line++
+			l.col = 1
+			return t
+		default:
+			return l.scanToken()
+		}
+	}
+	return token{kind: tokEOF, text: "", line: l.line, col: l.col}
+}
+
+func (l *lexer) advance(n int) {
+	l.pos += n
+	l.col += n
+}
+
+func (l *lexer) scanToken() token {
+	start := token{line: l.line, col: l.col}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		j := l.pos
+		for j < len(l.src) && isIdentPart(l.src[j]) {
+			j++
+		}
+		start.kind, start.text = tokIdent, l.src[l.pos:j]
+		l.advance(j - l.pos)
+		return start
+	case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		return l.scanNumber()
+	}
+	switch c {
+	case '=':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			start.kind, start.text = tokOp, "=="
+			l.advance(2)
+			return start
+		}
+		start.kind, start.text = tokAssign, "="
+	case ':':
+		start.kind, start.text = tokColon, ":"
+	case ',':
+		start.kind, start.text = tokComma, ","
+	case '{':
+		start.kind, start.text = tokLBrace, "{"
+	case '}':
+		start.kind, start.text = tokRBrace, "}"
+	case '@':
+		start.kind, start.text = tokAt, "@"
+	case '+', '-', '*', '<', '>', '%':
+		start.kind, start.text = tokOp, string(c)
+	default:
+		l.err = errAt(l.file, l.lines, l.line, l.col, CodeChar, "illegal character %q", string(c))
+		return token{kind: tokEOF, line: l.line, col: l.col}
+	}
+	l.advance(1)
+	return start
+}
+
+// scanNumber scans an optionally signed decimal literal with optional
+// fraction and exponent. Trailing identifier characters (e.g. "1x") are a
+// malformed-number diagnostic rather than two tokens.
+func (l *lexer) scanNumber() token {
+	start := token{kind: tokNumber, line: l.line, col: l.col}
+	j := l.pos
+	if l.src[j] == '-' {
+		j++
+	}
+	for j < len(l.src) && isDigit(l.src[j]) {
+		j++
+	}
+	if j < len(l.src) && l.src[j] == '.' {
+		j++
+		digits := false
+		for j < len(l.src) && isDigit(l.src[j]) {
+			j++
+			digits = true
+		}
+		if !digits {
+			l.err = errAt(l.file, l.lines, l.line, l.col, CodeNumber, "malformed number: missing digits after decimal point")
+			return token{kind: tokEOF, line: l.line, col: l.col}
+		}
+	}
+	if j < len(l.src) && (l.src[j] == 'e' || l.src[j] == 'E') {
+		j++
+		if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+			j++
+		}
+		digits := false
+		for j < len(l.src) && isDigit(l.src[j]) {
+			j++
+			digits = true
+		}
+		if !digits {
+			l.err = errAt(l.file, l.lines, l.line, l.col, CodeNumber, "malformed number: missing exponent digits")
+			return token{kind: tokEOF, line: l.line, col: l.col}
+		}
+	}
+	if j < len(l.src) && isIdentStart(l.src[j]) {
+		l.err = errAt(l.file, l.lines, l.line, l.col, CodeNumber, "malformed number: unexpected %q", string(l.src[j]))
+		return token{kind: tokEOF, line: l.line, col: l.col}
+	}
+	start.text = l.src[l.pos:j]
+	l.advance(j - l.pos)
+	return start
+}

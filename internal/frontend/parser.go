@@ -1,0 +1,318 @@
+package frontend
+
+import (
+	"strconv"
+
+	"repro/internal/cdfg"
+)
+
+// pos is a 1-based source position.
+type pos struct{ line, col int }
+
+// binding is one `name = number` pair in a const or init declaration.
+type binding struct {
+	name string
+	val  float64
+	at   pos
+}
+
+// opStmt is an `op`/`mov` statement: dst = src1 [binop src2] bound to a
+// functional unit, optionally carrying an explicit control step.
+type opStmt struct {
+	at       pos
+	fu       string
+	fuAt     pos
+	dst      string
+	dstAt    pos
+	op       cdfg.Op
+	src1     string
+	src1At   pos
+	src2     string
+	src2At   pos
+	mov      bool
+	step     int
+	hasStep  bool
+	stepAt   pos
+	srcIndex int // position in source order, for stable scheduling
+}
+
+// blockStmt is a `loop`/`if` block with its owner unit, condition
+// register and body.
+type blockStmt struct {
+	at     pos
+	loop   bool
+	fu     string
+	fuAt   pos
+	cond   string
+	condAt pos
+	body   []stmt
+}
+
+// stmt is either *opStmt or *blockStmt.
+type stmt interface{ stmtAt() pos }
+
+func (s *opStmt) stmtAt() pos    { return s.at }
+func (s *blockStmt) stmtAt() pos { return s.at }
+
+// fileAST is a parsed design before semantic checking.
+type fileAST struct {
+	name   string
+	nameAt pos
+	units  []binding // val unused
+	consts []binding
+	inits  []binding
+	body   []stmt
+}
+
+// binops maps operator lexemes to CDFG RTL operations.
+var binops = map[string]cdfg.Op{
+	"+": cdfg.OpAdd, "-": cdfg.OpSub, "*": cdfg.OpMul,
+	"<": cdfg.OpLT, ">": cdfg.OpGT, "==": cdfg.OpEQ, "%": cdfg.OpMod,
+}
+
+// parser is a single-lookahead recursive-descent parser over the lexer.
+type parser struct {
+	lx   *lexer
+	tok  token
+	err  *Error
+	nOps int
+}
+
+func newParser(file string, src []byte) *parser {
+	p := &parser{lx: newLexer(file, src)}
+	p.tok = p.lx.next()
+	return p
+}
+
+func (p *parser) fail(at pos, code, format string, args ...interface{}) {
+	if p.err == nil {
+		p.err = errAt(p.lx.file, p.lx.lines, at.line, at.col, code, format, args...)
+	}
+}
+
+func (p *parser) advance() {
+	p.tok = p.lx.next()
+	if p.lx.err != nil && p.err == nil {
+		p.err = p.lx.err
+	}
+}
+
+func (p *parser) at() pos { return pos{p.tok.line, p.tok.col} }
+
+// expect consumes a token of the given kind or fails with ADL003.
+func (p *parser) expect(kind tokKind, what string) token {
+	if p.tok.kind != kind {
+		p.fail(p.at(), CodeSyntax, "expected %s, found %s %q", what, p.tok.kind, p.tok.text)
+		return token{}
+	}
+	t := p.tok
+	p.advance()
+	return t
+}
+
+// endOfStmt consumes the newline (or EOF) terminating a statement.
+func (p *parser) endOfStmt() {
+	switch p.tok.kind {
+	case tokNewline:
+		p.advance()
+	case tokEOF:
+	default:
+		p.fail(p.at(), CodeSyntax, "expected end of line, found %s %q", p.tok.kind, p.tok.text)
+	}
+}
+
+func (p *parser) skipNewlines() {
+	for p.tok.kind == tokNewline {
+		p.advance()
+	}
+}
+
+// parseFile parses a whole design.
+func (p *parser) parseFile() *fileAST {
+	f := &fileAST{}
+	p.skipNewlines()
+	if p.tok.kind != tokIdent || p.tok.text != "design" {
+		p.fail(p.at(), CodeHeader, "a design must start with `design <name>`")
+		return f
+	}
+	p.advance()
+	name := p.expect(tokIdent, "design name")
+	f.name, f.nameAt = name.text, pos{name.line, name.col}
+	p.endOfStmt()
+
+	f.body = p.parseStmts(f, false)
+	return f
+}
+
+// parseStmts parses declarations and statements until EOF (top level) or
+// a closing brace (inside a block). Declarations (units/const/init) are
+// only legal at the top level.
+func (p *parser) parseStmts(f *fileAST, inBlock bool) []stmt {
+	var out []stmt
+	for p.err == nil {
+		p.skipNewlines()
+		switch {
+		case p.tok.kind == tokEOF:
+			if inBlock {
+				p.fail(p.at(), CodeUnclosed, "block not closed: missing \"}\"")
+			}
+			return out
+		case p.tok.kind == tokRBrace:
+			if !inBlock {
+				p.fail(p.at(), CodeSyntax, `unexpected "}" outside a block`)
+				return out
+			}
+			return out
+		case p.tok.kind != tokIdent:
+			p.fail(p.at(), CodeSyntax, "expected a statement, found %s %q", p.tok.kind, p.tok.text)
+			return out
+		}
+		switch p.tok.text {
+		case "design":
+			p.fail(p.at(), CodeHeader, "duplicate design header")
+			return out
+		case "units", "const", "init":
+			if inBlock {
+				p.fail(p.at(), CodeSyntax, "%q declarations are only allowed at the top level", p.tok.text)
+				return out
+			}
+			p.parseDecl(f)
+		case "op", "mov":
+			if s := p.parseOp(); s != nil {
+				out = append(out, s)
+			}
+		case "loop", "if":
+			if s := p.parseBlock(f); s != nil {
+				out = append(out, s)
+			}
+		default:
+			p.fail(p.at(), CodeSyntax, "expected op, mov, loop, if or a declaration, found %q", p.tok.text)
+			return out
+		}
+	}
+	return out
+}
+
+// parseDecl parses `units A B ...`, `const x = 1, y = 2` or `init ...`.
+func (p *parser) parseDecl(f *fileAST) {
+	kw := p.tok.text
+	p.advance()
+	if kw == "units" {
+		for p.err == nil {
+			u := p.expect(tokIdent, "functional unit name")
+			f.units = append(f.units, binding{name: u.text, at: pos{u.line, u.col}})
+			if p.tok.kind == tokComma {
+				p.advance()
+				continue
+			}
+			if p.tok.kind != tokIdent {
+				break
+			}
+		}
+		p.endOfStmt()
+		return
+	}
+	for p.err == nil {
+		name := p.expect(tokIdent, "register name")
+		p.expect(tokAssign, `"="`)
+		num := p.expect(tokNumber, "numeric value")
+		if p.err != nil {
+			return
+		}
+		v, err := strconv.ParseFloat(num.text, 64)
+		if err != nil {
+			p.fail(pos{num.line, num.col}, CodeNumber, "malformed number %q", num.text)
+			return
+		}
+		b := binding{name: name.text, val: v, at: pos{name.line, name.col}}
+		if kw == "const" {
+			f.consts = append(f.consts, b)
+		} else {
+			f.inits = append(f.inits, b)
+		}
+		if p.tok.kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	p.endOfStmt()
+}
+
+// parseOp parses `op FU: dst = src1 <binop> src2 [@ N]` or
+// `mov FU: dst = src [@ N]`.
+func (p *parser) parseOp() *opStmt {
+	s := &opStmt{at: p.at(), mov: p.tok.text == "mov", srcIndex: p.nOps}
+	p.nOps++
+	p.advance()
+	fu := p.expect(tokIdent, "functional unit name")
+	s.fu, s.fuAt = fu.text, pos{fu.line, fu.col}
+	p.expect(tokColon, `":"`)
+	dst := p.expect(tokIdent, "destination register")
+	s.dst, s.dstAt = dst.text, pos{dst.line, dst.col}
+	p.expect(tokAssign, `"="`)
+	src1 := p.expect(tokIdent, "source register")
+	s.src1, s.src1At = src1.text, pos{src1.line, src1.col}
+	if p.err != nil {
+		return nil
+	}
+	if s.mov {
+		s.op = cdfg.OpMov
+	} else {
+		opTok := p.expect(tokOp, "operator (+ - * < > == %)")
+		if p.err != nil {
+			return nil
+		}
+		op, ok := binops[opTok.text]
+		if !ok {
+			p.fail(pos{opTok.line, opTok.col}, CodeSyntax, "unknown operator %q", opTok.text)
+			return nil
+		}
+		s.op = op
+		src2 := p.expect(tokIdent, "source register")
+		s.src2, s.src2At = src2.text, pos{src2.line, src2.col}
+	}
+	if p.tok.kind == tokAt {
+		s.stepAt = p.at()
+		p.advance()
+		num := p.expect(tokNumber, "control step number")
+		if p.err != nil {
+			return nil
+		}
+		n, err := strconv.Atoi(num.text)
+		if err != nil || n < 0 {
+			p.fail(pos{num.line, num.col}, CodeNumber, "control step must be a non-negative integer, got %q", num.text)
+			return nil
+		}
+		s.step, s.hasStep = n, true
+	}
+	p.endOfStmt()
+	if p.err != nil {
+		return nil
+	}
+	return s
+}
+
+// parseBlock parses `loop FU cond { ... }` or `if FU cond { ... }`.
+func (p *parser) parseBlock(f *fileAST) *blockStmt {
+	s := &blockStmt{at: p.at(), loop: p.tok.text == "loop"}
+	p.advance()
+	fu := p.expect(tokIdent, "functional unit name")
+	s.fu, s.fuAt = fu.text, pos{fu.line, fu.col}
+	cond := p.expect(tokIdent, "condition register")
+	s.cond, s.condAt = cond.text, pos{cond.line, cond.col}
+	p.expect(tokLBrace, `"{"`)
+	if p.err != nil {
+		return nil
+	}
+	s.body = p.parseStmts(f, true)
+	if p.err != nil {
+		return nil
+	}
+	p.expect(tokRBrace, `"}"`)
+	p.endOfStmt()
+	if p.err != nil {
+		return nil
+	}
+	return s
+}

@@ -1,0 +1,53 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/transform"
+)
+
+// FuzzGenSoundness lets the fuzzer drive the generator seed space: every
+// spec must build a valid graph whose token simulation matches the
+// sequential interpreter before and after the global transforms. This is
+// the harness that found the GT1 conditional-first-use deadlock.
+func FuzzGenSoundness(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		s := New(seed, DefaultConfig())
+		ref, err := s.Reference()
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if tooBig(ref) {
+			t.Skip("magnitude outside exact float range")
+		}
+		g, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", s, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: validate: %v", s, err)
+		}
+		checkTokenEquiv(t, s, "untransformed", g, ref, 1)
+		opts := transform.DefaultOptions()
+		opts.SkipGT3 = true
+		if _, _, err := transform.OptimizeGT(g, opts); err != nil {
+			t.Fatalf("%s: transforms: %v", s, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: validate after transforms: %v", s, err)
+		}
+		res, err := sim.NewTokenSim(g.Clone(), sim.RandomDelays(1, 1, 30, 0.1, 2)).Run()
+		if err != nil || !res.Finished {
+			t.Fatalf("%s: transformed sim: err=%v finished=%v", s, err, res != nil && res.Finished)
+		}
+		for _, reg := range s.Regs() {
+			if d := res.Regs[reg] - ref[reg]; d > 1e-6 || d < -1e-6 {
+				t.Fatalf("%s: %s = %v, want %v", s, reg, res.Regs[reg], ref[reg])
+			}
+		}
+	})
+}

@@ -1,0 +1,251 @@
+// Package gen is a seeded, property-based generator of random scheduled
+// CDFGs for testing the synthesis flow. A Spec is a small, explicit
+// description of one random program — functional units, initialized
+// registers, a preamble, a counted loop with an optional conditional
+// block — derived deterministically from a seed. Specs build real
+// cdfg.Graphs through the same Program builder the benchmarks use, take
+// their golden register file from the frontend's sequential interpreter,
+// and shrink: when a property fails, Shrink greedily removes operations
+// and iterations while the failure reproduces, handing back a minimal
+// counterexample instead of a forty-node graph.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/cdfg"
+	"repro/internal/frontend"
+)
+
+// Config bounds the shape of generated programs.
+type Config struct {
+	// MaxFUs is the largest number of functional units (at least 2 are
+	// always generated so channels exist).
+	MaxFUs int
+	// MaxRegs is the largest number of general registers (at least 2).
+	MaxRegs int
+	// MaxPre bounds the operations before the loop.
+	MaxPre int
+	// MaxBody bounds the operations inside the loop body.
+	MaxBody int
+	// MaxIters bounds the loop trip count (at least 1).
+	MaxIters int
+	// AllowIf permits a conditional block inside the loop.
+	AllowIf bool
+	// AllowMul permits multiplications (products can overflow the exact
+	// float range over many iterations; harnesses screen with a magnitude
+	// filter).
+	AllowMul bool
+}
+
+// DefaultConfig returns the bounds used by the repo's own fuzz harnesses.
+func DefaultConfig() Config {
+	return Config{MaxFUs: 4, MaxRegs: 5, MaxPre: 3, MaxBody: 6, MaxIters: 5, AllowIf: true, AllowMul: true}
+}
+
+// OpSpec is one generated operation; registers and units are indices so
+// specs stay valid under shrinking.
+type OpSpec struct {
+	// FU indexes the owning functional unit.
+	FU int
+	// Dst indexes the destination general register.
+	Dst int
+	// Op is the RTL operation (OpMov ignores Src2).
+	Op cdfg.Op
+	// Src1 and Src2 index the source general registers.
+	Src1, Src2 int
+}
+
+// Spec is one deterministic random program. The zero value is not
+// runnable; use New.
+type Spec struct {
+	// Seed is the generator seed the spec was derived from.
+	Seed int64
+	// FUs is the number of functional units (named FU0, FU1, ...).
+	FUs int
+	// Inits holds the initial value of each general register; its length
+	// is the register count (named r0, r1, ...).
+	Inits []float64
+	// Iters is the loop trip count.
+	Iters int
+	// Pre runs before the loop.
+	Pre []OpSpec
+	// Body runs each iteration, before the conditional block.
+	Body []OpSpec
+	// If, when non-empty, is a conditional block guarded by a fresh
+	// comparison CondSrc1 < CondSrc2 computed on CondFU.
+	If []OpSpec
+	// CondFU owns the comparison and the conditional block.
+	CondFU int
+	// CondSrc1 and CondSrc2 are the comparison's register operands.
+	CondSrc1, CondSrc2 int
+}
+
+// New derives a random Spec from seed under cfg's bounds. The same seed
+// and config always produce the same spec.
+func New(seed int64, cfg Config) Spec {
+	r := rand.New(rand.NewSource(seed))
+	s := Spec{
+		Seed:  seed,
+		FUs:   2 + r.Intn(max(1, cfg.MaxFUs-1)),
+		Iters: 1 + r.Intn(max(1, cfg.MaxIters)),
+	}
+	nRegs := 2 + r.Intn(max(1, cfg.MaxRegs-1))
+	for i := 0; i < nRegs; i++ {
+		s.Inits = append(s.Inits, float64(r.Intn(9)-4)/2) // -2 .. 2 in halves
+	}
+	ops := []cdfg.Op{cdfg.OpAdd, cdfg.OpSub, cdfg.OpLT, cdfg.OpGT, cdfg.OpEQ, cdfg.OpMod, cdfg.OpMov}
+	if cfg.AllowMul {
+		ops = append(ops, cdfg.OpMul)
+	}
+	genOp := func() OpSpec {
+		return OpSpec{
+			FU:   r.Intn(s.FUs),
+			Dst:  r.Intn(nRegs),
+			Op:   ops[r.Intn(len(ops))],
+			Src1: r.Intn(nRegs),
+			Src2: r.Intn(nRegs),
+		}
+	}
+	for k := r.Intn(cfg.MaxPre + 1); k > 0; k-- {
+		s.Pre = append(s.Pre, genOp())
+	}
+	for k := 1 + r.Intn(max(1, cfg.MaxBody)); k > 0; k-- {
+		s.Body = append(s.Body, genOp())
+	}
+	if cfg.AllowIf && r.Intn(2) == 0 {
+		for k := 1 + r.Intn(2); k > 0; k-- {
+			s.If = append(s.If, genOp())
+		}
+		s.CondFU = r.Intn(s.FUs)
+		s.CondSrc1, s.CondSrc2 = r.Intn(nRegs), r.Intn(nRegs)
+	}
+	return s
+}
+
+// Program materializes the spec as a scheduled program: the preamble,
+// then a counted loop owned by FU0 holding the body, the optional
+// conditional block, and the counter/condition pair.
+func (s Spec) Program() *cdfg.Program {
+	fus := make([]string, s.FUs)
+	for i := range fus {
+		fus[i] = fmt.Sprintf("FU%d", i)
+	}
+	p := cdfg.NewProgram(fmt.Sprintf("gen%d", s.Seed), fus...)
+	p.Const("one").Init("one", 1)
+	p.Const("lim").Init("lim", float64(s.Iters))
+	p.Init("i", 0).Init("run", 1)
+	for i, v := range s.Inits {
+		p.Init(s.reg(i), v)
+	}
+	emit := func(o OpSpec) {
+		if o.Op == cdfg.OpMov {
+			p.Assign(fus[o.FU%s.FUs], s.reg(o.Dst), s.reg(o.Src1))
+			return
+		}
+		p.Op(fus[o.FU%s.FUs], s.reg(o.Dst), o.Op, s.reg(o.Src1), s.reg(o.Src2))
+	}
+	for _, o := range s.Pre {
+		emit(o)
+	}
+	p.Loop(fus[0], "run")
+	for _, o := range s.Body {
+		emit(o)
+	}
+	if len(s.If) > 0 {
+		p.Op(fus[s.CondFU%s.FUs], "c", cdfg.OpLT, s.reg(s.CondSrc1), s.reg(s.CondSrc2))
+		p.If(fus[s.CondFU%s.FUs], "c")
+		for _, o := range s.If {
+			emit(o)
+		}
+		p.EndIf()
+	}
+	p.Op(fus[0], "i", cdfg.OpAdd, "i", "one")
+	p.Op(fus[0], "run", cdfg.OpLT, "i", "lim")
+	p.EndLoop()
+	return p
+}
+
+// reg names general register i, wrapping indices so shrunk specs remain
+// well-formed.
+func (s Spec) reg(i int) string {
+	if len(s.Inits) == 0 {
+		return "r0"
+	}
+	return fmt.Sprintf("r%d", ((i%len(s.Inits))+len(s.Inits))%len(s.Inits))
+}
+
+// Build materializes the spec and derives all constraint arcs.
+func (s Spec) Build() (*cdfg.Graph, error) {
+	return s.Program().Build()
+}
+
+// Reference returns the golden register file: the frontend's sequential
+// interpreter run over the built graph.
+func (s Spec) Reference() (map[string]float64, error) {
+	g, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	return frontend.Interpret(g)
+}
+
+// Regs lists the register names whose final values a harness should
+// compare (the general registers plus the loop counter).
+func (s Spec) Regs() []string {
+	out := make([]string, 0, len(s.Inits)+1)
+	for i := range s.Inits {
+		out = append(out, s.reg(i))
+	}
+	return append(out, "i")
+}
+
+// String renders the spec compactly for failure messages.
+func (s Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gen.Spec{seed=%d fus=%d regs=%v iters=%d", s.Seed, s.FUs, s.Inits, s.Iters)
+	dump := func(tag string, ops []OpSpec) {
+		if len(ops) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, " %s[", tag)
+		for i, o := range ops {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			if o.Op == cdfg.OpMov {
+				fmt.Fprintf(&b, "FU%d:%s=%s", o.FU, s.reg(o.Dst), s.reg(o.Src1))
+			} else {
+				fmt.Fprintf(&b, "FU%d:%s=%s%s%s", o.FU, s.reg(o.Dst), s.reg(o.Src1), o.Op, s.reg(o.Src2))
+			}
+		}
+		b.WriteString("]")
+	}
+	dump("pre", s.Pre)
+	dump("body", s.Body)
+	if len(s.If) > 0 {
+		fmt.Fprintf(&b, " cond=FU%d:%s<%s", s.CondFU, s.reg(s.CondSrc1), s.reg(s.CondSrc2))
+		dump("if", s.If)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Graph builds the random scheduled CDFG for seed under the default
+// config, panicking on builder errors (generated specs always build).
+func Graph(seed int64) *cdfg.Graph {
+	g, err := New(seed, DefaultConfig()).Build()
+	if err != nil {
+		panic(fmt.Sprintf("gen: seed %d: %v", seed, err))
+	}
+	return g
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

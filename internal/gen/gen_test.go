@@ -1,0 +1,227 @@
+package gen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/transform"
+)
+
+// tooBig screens instances whose products leave the exactly-representable
+// float range (multiplication chains can explode over iterations).
+func tooBig(m map[string]float64) bool {
+	for _, v := range m {
+		if math.Abs(v) > 1e12 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestNewDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a, b := New(seed, DefaultConfig()), New(seed, DefaultConfig())
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: specs differ:\n%s\n%s", seed, a, b)
+		}
+	}
+	if New(1, DefaultConfig()).String() == New(2, DefaultConfig()).String() {
+		t.Error("different seeds produced identical specs")
+	}
+}
+
+// TestGenSoundness1000 is the acceptance harness: 1000 seeded graphs must
+// build, validate, and — before and after the global-transform pipeline —
+// token-simulate to the sequential interpreter's register file under
+// random delays.
+func TestGenSoundness1000(t *testing.T) {
+	const seeds = 1000
+	delaySeeds := 2
+	if testing.Short() {
+		delaySeeds = 1
+	}
+	ran, skipped := 0, 0
+	for seed := int64(0); seed < seeds; seed++ {
+		s := New(seed, DefaultConfig())
+		ref, err := s.Reference()
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, s)
+		}
+		if tooBig(ref) {
+			skipped++
+			continue
+		}
+		g, err := s.Build()
+		if err != nil {
+			t.Fatalf("seed %d: build: %v\n%s", seed, err, s)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: validate: %v\n%s", seed, err, s)
+		}
+		checkTokenEquiv(t, s, "untransformed", g, ref, delaySeeds)
+		// GT3's removals assume the analysis delay model, which random
+		// delay draws do not follow; keep it off (matches the core fuzz
+		// harnesses).
+		opts := transform.DefaultOptions()
+		opts.SkipGT3 = true
+		if _, _, err := transform.OptimizeGT(g, opts); err != nil {
+			t.Fatalf("seed %d: transforms: %v\n%s", seed, err, s)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: validate after transforms: %v\n%s", seed, err, s)
+		}
+		checkTokenEquiv(t, s, "transformed", g, ref, delaySeeds)
+		ran++
+	}
+	t.Logf("gen soundness: %d instances verified, %d skipped (magnitude)", ran, skipped)
+	if ran < seeds*8/10 {
+		t.Errorf("too few instances ran (%d/%d); generator bounds too loose", ran, seeds)
+	}
+}
+
+func checkTokenEquiv(t *testing.T, s Spec, stage string, g *cdfg.Graph, ref map[string]float64, delaySeeds int) {
+	t.Helper()
+	for seed := 0; seed < delaySeeds; seed++ {
+		res, err := sim.NewTokenSim(g.Clone(), sim.RandomDelays(int64(seed), 1, 30, 0.1, 2)).Run()
+		if err != nil {
+			t.Fatalf("%s %s seed %d: %v", s, stage, seed, err)
+		}
+		if !res.Finished {
+			t.Fatalf("%s %s seed %d: did not finish", s, stage, seed)
+		}
+		for _, reg := range s.Regs() {
+			if math.Abs(res.Regs[reg]-ref[reg]) > 1e-6 {
+				t.Fatalf("%s %s seed %d: %s = %v, want %v\n%s",
+					s, stage, seed, reg, res.Regs[reg], ref[reg], g)
+			}
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("%s %s seed %d: violations: %v", s, stage, seed, res.Violations)
+		}
+	}
+}
+
+// TestGenFullFlow drives a subset of generated instances through the
+// complete flow (extraction and local transforms included), skipping
+// topologies the extractor rejects, mirroring core's full-flow fuzz.
+func TestGenFullFlow(t *testing.T) {
+	const seeds = 30
+	ran, skipped := 0, 0
+	for seed := int64(0); seed < seeds; seed++ {
+		s := New(seed+5000, DefaultConfig())
+		ref, err := s.Reference()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if tooBig(ref) {
+			skipped++
+			continue
+		}
+		g, err := s.Build()
+		if err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+		opt := core.DefaultOptions()
+		opt.Transform.SkipGT3 = true
+		sys, err := core.Run(g, opt)
+		if err != nil {
+			if strings.Contains(err.Error(), "unsupported topology") ||
+				strings.Contains(err.Error(), "primer events") {
+				skipped++
+				continue
+			}
+			t.Fatalf("seed %d: %v\n%s", seed, err, s)
+		}
+		for dseed := int64(0); dseed < 2; dseed++ {
+			res, err := sys.Simulate(dseed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", s, dseed, err)
+			}
+			for _, reg := range s.Regs() {
+				if math.Abs(res.Regs[reg]-ref[reg]) > 1e-6 {
+					t.Fatalf("%s: %s = %v, want %v", s, reg, res.Regs[reg], ref[reg])
+				}
+			}
+		}
+		ran++
+	}
+	t.Logf("gen full flow: %d verified, %d skipped", ran, skipped)
+	if ran == 0 {
+		t.Error("no instances survived the full flow")
+	}
+}
+
+// Shrinking a failure injected as "the loop body multiplies" must strip
+// the spec to a single multiply and one iteration.
+func TestShrinkMinimal(t *testing.T) {
+	hasMul := func(s Spec) bool {
+		for _, o := range s.Body {
+			if o.Op == cdfg.OpMul {
+				return true
+			}
+		}
+		return false
+	}
+	found := 0
+	for seed := int64(0); seed < 200 && found < 20; seed++ {
+		s := New(seed, DefaultConfig())
+		if !hasMul(s) {
+			continue
+		}
+		found++
+		m := Shrink(s, hasMul)
+		if !hasMul(m) {
+			t.Fatalf("seed %d: shrunk spec no longer fails:\n%s", seed, m)
+		}
+		if len(m.Body) != 1 {
+			t.Errorf("seed %d: body not minimal (%d ops):\n%s", seed, len(m.Body), m)
+		}
+		if len(m.Pre) != 0 || len(m.If) != 0 {
+			t.Errorf("seed %d: pre/if not removed:\n%s", seed, m)
+		}
+		if m.Iters != 1 {
+			t.Errorf("seed %d: iters = %d, want 1:\n%s", seed, m.Iters, m)
+		}
+		for _, v := range m.Inits {
+			if v != 0 {
+				t.Errorf("seed %d: inits not zeroed: %v", seed, m.Inits)
+				break
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no generated spec contained a multiply; generator broken")
+	}
+}
+
+// A pass-through predicate on a passing spec returns it unchanged.
+func TestShrinkNonFailing(t *testing.T) {
+	s := New(7, DefaultConfig())
+	m := Shrink(s, func(Spec) bool { return false })
+	if m.String() != s.String() {
+		t.Error("Shrink modified a non-failing spec")
+	}
+}
+
+// Shrunk specs must still build and validate: minimization must not leave
+// the structured-program invariants.
+func TestShrinkPreservesValidity(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		s := New(seed, DefaultConfig())
+		m := Shrink(s, func(c Spec) bool {
+			g, err := c.Build()
+			return err == nil && g.Validate() == nil && len(c.Body) >= 1
+		})
+		g, err := m.Build()
+		if err != nil {
+			t.Fatalf("seed %d: shrunk spec fails to build: %v\n%s", seed, err, m)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: shrunk graph invalid: %v\n%s", seed, err, m)
+		}
+	}
+}

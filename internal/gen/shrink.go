@@ -1,0 +1,75 @@
+package gen
+
+// Shrink greedily minimizes a failing spec: while the predicate keeps
+// failing (fails returns true), it tries dropping preamble, body and
+// conditional operations, removing the conditional block, lowering the
+// trip count and zeroing register initializers, keeping every change
+// that still reproduces the failure. The result is a local minimum: no
+// single remaining reduction preserves the failure.
+//
+// fails must be deterministic for shrinking to converge; it is called
+// O(total operations) times per fixpoint round.
+func Shrink(s Spec, fails func(Spec) bool) Spec {
+	if !fails(s) {
+		return s
+	}
+	for changed := true; changed; {
+		changed = false
+		try := func(c Spec) bool {
+			if fails(c) {
+				s = c
+				changed = true
+				return true
+			}
+			return false
+		}
+
+		// Drop whole operations, preamble first.
+		for i := 0; i < len(s.Pre); i++ {
+			if try(s.withPre(removeAt(s.Pre, i))) {
+				i--
+			}
+		}
+		// The loop body must keep at least one operation to stay a
+		// meaningful scheduled program.
+		for i := 0; i < len(s.Body) && len(s.Body) > 1; i++ {
+			if try(s.withBody(removeAt(s.Body, i))) {
+				i--
+			}
+		}
+		for i := 0; i < len(s.If); i++ {
+			if try(s.withIf(removeAt(s.If, i))) {
+				i--
+			}
+		}
+
+		// Lower the trip count toward one iteration.
+		for s.Iters > 1 && try(s.withIters(s.Iters/2)) {
+		}
+		if s.Iters > 1 {
+			try(s.withIters(s.Iters - 1))
+		}
+
+		// Zero initializers to make surviving values legible.
+		for i, v := range s.Inits {
+			if v != 0 {
+				c := s
+				c.Inits = append([]float64(nil), s.Inits...)
+				c.Inits[i] = 0
+				try(c)
+			}
+		}
+	}
+	return s
+}
+
+func removeAt(ops []OpSpec, i int) []OpSpec {
+	out := make([]OpSpec, 0, len(ops)-1)
+	out = append(out, ops[:i]...)
+	return append(out, ops[i+1:]...)
+}
+
+func (s Spec) withPre(ops []OpSpec) Spec  { s.Pre = ops; return s }
+func (s Spec) withBody(ops []OpSpec) Spec { s.Body = ops; return s }
+func (s Spec) withIf(ops []OpSpec) Spec   { s.If = ops; return s }
+func (s Spec) withIters(n int) Spec       { s.Iters = n; return s }

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/examples"
+	"repro/internal/bench"
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// Submitting ADL text with Content-Type: text/x-adl compiles the source
+// on the server and synthesizes the same document as the JSON path — and
+// as a direct pipeline run on the registry's EWF graph.
+func TestHTTPSubmitADLText(t *testing.T) {
+	m := New(Config{Concurrency: 2})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	src, err := examples.ADL.ReadFile("ewf.adl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/jobs", "text/x-adl", bytes.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	decodeBody(t, resp, http.StatusAccepted, &st)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for st.State != "done" {
+		if time.Now().After(deadline) || st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("job stuck in %s (error %q)", st.State, st.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err = http.Get(srv.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeBody(t, resp, http.StatusOK, &st)
+	}
+
+	ewf, ok := bench.Lookup("ewf")
+	if !ok {
+		t.Fatal("ewf not registered")
+	}
+	direct, err := core.Run(ewf.Build(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := direct.SynthesizeLogic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := codec.EncodeSynthesis(direct, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw := readAll(t, resp); resp.StatusCode != http.StatusOK || !bytes.Equal([]byte(raw), want) {
+		t.Fatalf("ADL-submitted synthesis document differs from direct pipeline run (status %d)", resp.StatusCode)
+	}
+}
+
+func TestHTTPSubmitContentTypeNegotiation(t *testing.T) {
+	m := New(Config{Concurrency: 1})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	adl := "design d\nunits A, B\nconst one = 1\ninit x = 2, i = 0, run = 1\n" +
+		"loop A run {\nop B: x = x + one\nop A: i = i + one\nop A: run = i < one\n}\n"
+
+	// text/plain (with parameters) also reaches the frontend.
+	resp, err := http.Post(srv.URL+"/v1/jobs", "text/plain; charset=utf-8", strings.NewReader(adl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	decodeBody(t, resp, http.StatusAccepted, &st)
+
+	// ADL diagnostics surface in the 400 body with their stable code.
+	resp, err = http.Post(srv.URL+"/v1/jobs", "text/x-adl", strings.NewReader("units A\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "ADL004") {
+		t.Fatalf("bad ADL submit: %d %q", resp.StatusCode, body)
+	}
+
+	// JSON pasted under an ADL Content-Type is an ADL diagnostic, not a
+	// codec one — negotiation is explicit, never guessed.
+	resp, err = http.Post(srv.URL+"/v1/jobs", "text/x-adl", strings.NewReader(`{"version":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "ADL") {
+		t.Fatalf("JSON-as-ADL submit: %d %q", resp.StatusCode, body)
+	}
+
+	// Unsupported media types are rejected outright.
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/xml", strings.NewReader(adl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "unsupported Content-Type") {
+		t.Fatalf("xml submit: %d %q", resp.StatusCode, body)
+	}
+}

@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"mime"
 	"net/http"
 
+	"repro/internal/cdfg"
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/frontend"
 	"repro/internal/obs"
 )
 
@@ -33,8 +36,12 @@ type errorBody struct {
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST   /v1/jobs       submit a codec graph document (?level= selects
-//	                      the optimization level, default the full ladder)
+//	POST   /v1/jobs       submit a design (?level= selects the
+//	                      optimization level, default the full ladder).
+//	                      The body is negotiated on Content-Type:
+//	                      application/json (or absent) is a codec graph
+//	                      document; text/x-adl, text/adl or text/plain is
+//	                      ADL behavioral source compiled on submission
 //	GET    /v1/jobs/{id}  poll job state; includes the result when done
 //	GET    /v1/jobs/{id}/result  the raw synthesis document, byte-for-byte
 //	                      as the codec produced it (409 until done)
@@ -71,7 +78,7 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		level = parsed
 	}
-	g, err := codec.DecodeGraph(body)
+	g, err := decodeSubmission(r.Header.Get("Content-Type"), body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -89,6 +96,30 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, statusOf(job))
+}
+
+// decodeSubmission negotiates the POST /v1/jobs body on its Content-Type:
+// JSON (or no header) is a codec interchange document; the ADL text types
+// are behavioral source compiled by the frontend. Anything else is a 415
+// mapped to 400 by the caller's error path — explicit, not guessed.
+func decodeSubmission(contentType string, body []byte) (*cdfg.Graph, error) {
+	mediaType := ""
+	if contentType != "" {
+		mt, _, err := mime.ParseMediaType(contentType)
+		if err != nil {
+			return nil, errors.New("malformed Content-Type: " + err.Error())
+		}
+		mediaType = mt
+	}
+	switch mediaType {
+	case "", "application/json":
+		return codec.DecodeGraph(body)
+	case "text/x-adl", "text/adl", "text/plain":
+		return frontend.Compile("request.adl", body)
+	default:
+		return nil, errors.New("unsupported Content-Type " + mediaType +
+			" (want application/json or text/x-adl)")
+	}
 }
 
 func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {

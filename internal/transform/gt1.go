@@ -113,22 +113,45 @@ func loopParallelismOn(g *cdfg.Graph, blk *cdfg.Block, rep *Report) error {
 		reach = cdfg.NewReach(g)
 	}
 
-	// Step D: first use of each functional unit must precede ENDLOOP.
+	// Step D: first use of each functional unit must precede ENDLOOP. A
+	// first use nested in a conditional sub-block fires only when its
+	// branch is taken, so the arc anchors at the sub-block boundary that
+	// completes on every iteration (ENDIF, or a nested loop's exit) —
+	// otherwise ENDLOOP would wait forever on the untaken branch.
 	for _, fu := range g.FUs {
 		first := firstUseInBlock(g, blk.ID, fu)
 		if first == nil {
 			continue
 		}
-		if reach.WouldDominate(first.ID, end.ID, false) {
-			rep.note("step D: (%s → ENDLOOP) already implied", first.Label())
+		from, branch := anchorInBlock(g, first.ID, blk.ID)
+		if reach.WouldDominate(from, end.ID, false) {
+			rep.note("step D: (%s → ENDLOOP) already implied", g.Node(from).Label())
 			continue
 		}
-		a := &cdfg.Arc{From: first.ID, To: end.ID, Kind: cdfg.ArcControl, Note: fu}
+		a := &cdfg.Arc{From: from, To: end.ID, Kind: cdfg.ArcControl, Branch: branch, Note: fu}
 		g.AddArc(a)
 		rep.add(g, a)
 		reach = cdfg.NewReach(g)
 	}
 	return nil
+}
+
+// anchorInBlock returns the completion anchor for node id as seen from
+// block: a node directly in the block anchors itself; a node nested in a
+// sub-block anchors at the innermost enclosing sub-block's boundary — an
+// if's END node, or a loop's root on the exit branch — matching the
+// block-granularity convention of the derived arcs.
+func anchorInBlock(g *cdfg.Graph, id cdfg.NodeID, block int) (cdfg.NodeID, cdfg.OutBranch) {
+	node, branch := id, cdfg.OutAlways
+	for g.Node(node).Block != block {
+		b := g.Blocks[g.Node(node).Block]
+		if b.Kind == cdfg.BlockLoop {
+			node, branch = b.Root, cdfg.OutFalse
+		} else {
+			node, branch = b.End, cdfg.OutAlways
+		}
+	}
+	return node, branch
 }
 
 // maximalAccesses returns the accesses not preceding any other access.

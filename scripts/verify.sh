@@ -10,10 +10,18 @@ echo "== go build"
 go build ./...
 echo "== go vet"
 go vet ./...
-echo "== checkdoc (package docs present)"
+echo "== checkdoc (package docs + frontend/gen exported-identifier docs)"
 go run ./scripts/checkdoc
 echo "== go test -race"
 go test -race ./...
+echo "== docs: every examples/*.adl compiles and round-trips byte-identically"
+go test -race -run 'TestCompileEmbeddedExamples' -count=1 ./internal/frontend
+for adl in examples/*.adl; do
+	go run ./cmd/asyncsynth compile -check "$adl"
+done
+echo "== fuzz smoke (seeded generator soundness, 5s)"
+go test -run '^Fuzz' -count=1 ./internal/codec ./internal/core ./internal/gen
+go test -run '^$' -fuzz '^FuzzGenSoundness$' -fuzztime 5s ./internal/gen
 echo "== memo equivalence (cached pipeline bit-identical to uncached)"
 go test -race -run 'TestMemoEquivalence' -count=1 .
 echo "== cold-cache overhead guard (<5% on the all-miss path)"
