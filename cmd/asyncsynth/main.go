@@ -12,6 +12,7 @@
 //	asyncsynth extract [bench]     print the extracted controllers
 //	asyncsynth simulate [bench]    run the controller-level simulation
 //	asyncsynth explore [bench]     design-space exploration sweep
+//	asyncsynth search [bench]      cost-directed rewrite search
 //	asyncsynth dot cdfg|afsm [bench] [-level L]   Graphviz output
 //	asyncsynth export [bench]      print the CDFG as interchange JSON
 //	asyncsynth compile [file.adl]  compile ADL source to interchange JSON
@@ -45,13 +46,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers the /debug/pprof handlers for -pprof
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/bench"
@@ -64,6 +68,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/memo"
 	"repro/internal/obs"
+	"repro/internal/search"
 	"repro/internal/synth"
 	"repro/internal/transform"
 )
@@ -142,6 +147,8 @@ func run() int {
 		err = simulate(args)
 	case "explore":
 		err = doExplore(args)
+	case "search":
+		err = doSearch(args)
 	case "synth":
 		err = doSynth(args)
 	case "verilog":
@@ -163,9 +170,24 @@ func run() int {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "asyncsynth:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			usage()
+			return 2
+		}
 		return 1
 	}
 	return 0
+}
+
+// usageError marks a command-line validation failure: run() prints the
+// message plus the usage text and exits 2, matching the global -j check.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+func usageErrorf(format string, args ...interface{}) error {
+	return usageError{msg: fmt.Sprintf(format, args...)}
 }
 
 // setupObs wires the -trace/-metrics/-pprof flags into the global obs
@@ -241,6 +263,9 @@ commands:
   extract [bench]           print the extracted burst-mode controllers
   simulate [bench]          controller-level simulation, final registers
   explore [bench]           design-space exploration sweep
+  search [bench]            cost-directed rewrite search over the transform
+                            space; -beam N, -waves N, -budget N, -branch N,
+                            -w-time W, -w-area W, -no-synth
   synth [bench]             gate-level synthesis, per-function logic
   verilog [bench]           structural Verilog netlists of the controllers
   gates [bench]             simulate the synthesized logic as gates
@@ -469,6 +494,107 @@ func doExplore(args []string) error {
 	return nil
 }
 
+// searchParams are the parsed `search` flags, separated from flag parsing
+// so validation is unit-testable.
+type searchParams struct {
+	beam, waves, budget, branch int
+	wTime, wArea                float64
+}
+
+// validate enforces the flag domains: counts must be positive (waves may
+// be zero for a seeds-only sweep), weights non-negative and finite with at
+// least one axis active. Violations exit 2 with usage, matching -j.
+func (p searchParams) validate() error {
+	if p.beam < 1 {
+		return usageErrorf("invalid -beam %d (must be >= 1)", p.beam)
+	}
+	if p.waves < 0 {
+		return usageErrorf("invalid -waves %d (must be >= 0)", p.waves)
+	}
+	if p.budget < 1 {
+		return usageErrorf("invalid -budget %d (must be >= 1)", p.budget)
+	}
+	if p.branch < 1 {
+		return usageErrorf("invalid -branch %d (must be >= 1)", p.branch)
+	}
+	for _, w := range []struct {
+		name string
+		v    float64
+	}{{"-w-time", p.wTime}, {"-w-area", p.wArea}} {
+		if math.IsNaN(w.v) || math.IsInf(w.v, 0) || w.v < 0 {
+			return usageErrorf("invalid %s %v (must be finite and >= 0)", w.name, w.v)
+		}
+	}
+	if p.wTime == 0 && p.wArea == 0 {
+		return usageErrorf("invalid weights: -w-time and -w-area are both 0 (cost would be constant)")
+	}
+	return nil
+}
+
+// doSearch runs the cost-directed rewrite search and prints the chosen
+// plan, the final beam and the run counters, plus the comparison against
+// the best fixed-ablation seed.
+func doSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ContinueOnError)
+	beam := fs.Int("beam", 3, "beam width (states kept per wave)")
+	waves := fs.Int("waves", 3, "expansion waves after scoring the seeds (0 = seeds only)")
+	budget := fs.Int("budget", 64, "total plan-evaluation budget")
+	branch := fs.Int("branch", 4, "max GT5.1 merge candidates expanded per state")
+	wTime := fs.Float64("w-time", 1, "cost weight of the analyzed makespan")
+	wArea := fs.Float64("w-area", 1, "cost weight of the synthesized literal total")
+	noSynth := fs.Bool("no-synth", false, "skip gate-level scoring (cost becomes time-only)")
+	benchName := benchArg(args)
+	rest := args
+	if len(args) > 0 && args[0] != "" && args[0][0] != '-' {
+		rest = args[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	p := searchParams{beam: *beam, waves: *waves, budget: *budget, branch: *branch, wTime: *wTime, wArea: *wArea}
+	if err := p.validate(); err != nil {
+		return err
+	}
+	g, _, _, err := buildBench(benchName)
+	if err != nil {
+		return err
+	}
+	sopt := search.Options{
+		Workers:    *jWorkers,
+		Beam:       p.beam,
+		Waves:      p.waves,
+		Budget:     p.budget,
+		MaxBranch:  p.branch,
+		Weights:    search.Weights{Time: p.wTime, Area: p.wArea},
+		Synthesize: !*noSynth,
+		Minimizer:  minimizer,
+		Solver:     coverSolver,
+	}
+	if p.waves == 0 {
+		sopt.Waves = -1
+	}
+	res, err := search.Run(g, sopt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(search.Format(res))
+	seedBest := math.Inf(1)
+	seedName := ""
+	for _, st := range res.Seeds {
+		if st.Score.Cost < seedBest {
+			seedBest = st.Score.Cost
+			seedName = st.Plan.Name()
+		}
+	}
+	if seedName != "" {
+		fmt.Printf("best fixed ablation: %s (cost %.1f)\n", seedName, seedBest)
+		if res.Best.Score.Cost < seedBest {
+			fmt.Printf("search improvement: %.1f\n", seedBest-res.Best.Score.Cost)
+		}
+	}
+	return nil
+}
+
 func doSynth(args []string) error {
 	g, fus, _, err := buildBench(benchArg(args))
 	if err != nil {
@@ -515,15 +641,25 @@ func gates(args []string) error {
 		return err
 	}
 	fmt.Printf("gate-level simulation: %d events, t=%.1f\n", res.Events, res.FinishTime)
-	for reg, w := range want {
+	regs := make([]string, 0, len(want))
+	for reg := range want {
+		regs = append(regs, reg)
+	}
+	sort.Strings(regs)
+	mismatches := 0
+	for _, reg := range regs {
 		status := "OK"
-		if res.Regs[reg] != w {
+		if res.Regs[reg] != want[reg] {
 			status = "MISMATCH"
+			mismatches++
 		}
-		fmt.Printf("  %s = %v (want %v) %s\n", reg, res.Regs[reg], w, status)
+		fmt.Printf("  %s = %v (want %v) %s\n", reg, res.Regs[reg], want[reg], status)
 	}
 	if len(res.Violations) > 0 {
 		fmt.Printf("violations: %v\n", res.Violations)
+	}
+	if mismatches > 0 || len(res.Violations) > 0 {
+		return fmt.Errorf("gate-level closure failed: %d mismatched register(s), %d violation(s)", mismatches, len(res.Violations))
 	}
 	return nil
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestSearchParamsValidate pins the flag-domain checks behind the search
+// subcommand: out-of-range counts and non-finite or negative weights must
+// produce a usageError (exit 2 with usage), and sensible values must pass.
+func TestSearchParamsValidate(t *testing.T) {
+	good := searchParams{beam: 3, waves: 3, budget: 64, branch: 4, wTime: 1, wArea: 1}
+	if err := good.validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	zeroWaves := good
+	zeroWaves.waves = 0
+	if err := zeroWaves.validate(); err != nil {
+		t.Errorf("waves=0 (seeds-only) rejected: %v", err)
+	}
+	timeOnly := good
+	timeOnly.wArea = 0
+	if err := timeOnly.validate(); err != nil {
+		t.Errorf("single-axis weights rejected: %v", err)
+	}
+	bad := []searchParams{
+		{beam: 0, waves: 3, budget: 64, branch: 4, wTime: 1, wArea: 1},
+		{beam: 3, waves: -1, budget: 64, branch: 4, wTime: 1, wArea: 1},
+		{beam: 3, waves: 3, budget: 0, branch: 4, wTime: 1, wArea: 1},
+		{beam: 3, waves: 3, budget: 64, branch: 0, wTime: 1, wArea: 1},
+		{beam: 3, waves: 3, budget: 64, branch: 4, wTime: -1, wArea: 1},
+		{beam: 3, waves: 3, budget: 64, branch: 4, wTime: math.NaN(), wArea: 1},
+		{beam: 3, waves: 3, budget: 64, branch: 4, wTime: math.Inf(1), wArea: 1},
+		{beam: 3, waves: 3, budget: 64, branch: 4, wTime: 0, wArea: 0},
+	}
+	for i, p := range bad {
+		err := p.validate()
+		if err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+			continue
+		}
+		var ue usageError
+		if !errors.As(err, &ue) {
+			t.Errorf("case %d: error is not a usageError: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestGateClosureRegistry runs the deepest verification level — the
+// minimized two-level covers with state feedback driving the behavioural
+// datapath — over every registered benchmark under several randomized
+// delay assignments, and checks the golden registers. FIR and AR are the
+// regression anchors: both used to mismatch at this level (a dropped
+// return-to-zero wait let a re-raised request see the previous handshake's
+// stale acknowledgment, and terminal states had no hold requirement in
+// the minimization spec).
+func TestGateClosureRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gate-level closure is slow")
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			s, err := core.Run(b.Build(), core.DefaultOptions())
+			if err != nil {
+				t.Fatalf("core.Run: %v", err)
+			}
+			results, err := s.SynthesizeLogic()
+			if err != nil {
+				t.Fatalf("SynthesizeLogic: %v", err)
+			}
+			want := b.Want()
+			for seed := int64(0); seed < 5; seed++ {
+				res, err := s.GateSimulate(results, seed)
+				if err != nil {
+					t.Fatalf("seed %d: GateSimulate: %v", seed, err)
+				}
+				if len(res.Violations) > 0 {
+					t.Fatalf("seed %d: violations: %v", seed, res.Violations)
+				}
+				for reg, w := range want {
+					if res.Regs[reg] != w {
+						t.Errorf("seed %d: %s = %v, want %v", seed, reg, res.Regs[reg], w)
+					}
+				}
+			}
+		})
+	}
+}

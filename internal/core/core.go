@@ -80,6 +80,15 @@ type Options struct {
 	// only wall time changes. Ignored when Minimizer is set (a memo cache
 	// carries its own backend, fixed at construction so cache keys match).
 	Solver logic.Solver
+	// LTConfigs selects a per-controller subset/order of the local
+	// transforms (a rewrite-search decision); nil, or a missing entry,
+	// runs the full pipeline for that controller. Only consulted at
+	// Level OptimizedGTLT.
+	LTConfigs map[string]local.Config
+	// Encodings forces a per-controller rung of the encoding-attempt
+	// ladder (see synth.SynthesizeRung); nil, a missing entry, or a
+	// negative value tries the whole ladder.
+	Encodings map[string]int
 }
 
 // DefaultOptions runs the full pipeline.
@@ -106,6 +115,9 @@ type Synthesis struct {
 	Minimizer synth.Minimizer
 	// Solver is the covering backend inherited from Options.
 	Solver logic.Solver
+	// Encodings carries the per-controller forced encoding rungs inherited
+	// from Options into SynthesizeLogic.
+	Encodings map[string]int
 }
 
 // FUs returns the controller (functional-unit) names in sorted order —
@@ -152,6 +164,7 @@ func RunCtx(ctx context.Context, g *cdfg.Graph, opt Options) (_ *Synthesis, err 
 		Parallelism: opt.Parallelism,
 		Minimizer:   opt.Minimizer,
 		Solver:      opt.Solver,
+		Encodings:   opt.Encodings,
 	}
 	exOpt := extract.Options{}
 	if opt.Level == Unoptimized {
@@ -199,7 +212,11 @@ func RunCtx(ctx context.Context, g *cdfg.Graph, opt Options) (_ *Synthesis, err 
 		// keeping results and error attribution deterministic.
 		fus := s.FUs()
 		reps, err := par.NamedMapCtx(ctx, "lt", opt.Parallelism, fus, func(_ context.Context, _ int, fu string) (*local.Report, error) {
-			rep, err := local.Optimize(s.Machines[fu])
+			cfg, ok := opt.LTConfigs[fu]
+			if !ok {
+				cfg = local.FullConfig()
+			}
+			rep, err := local.OptimizeWith(s.Machines[fu], cfg)
 			if err != nil {
 				return nil, fmt.Errorf("core: local transforms on %s: %w", fu, err)
 			}
@@ -247,7 +264,11 @@ func (s *Synthesis) SynthesizeLogic() (map[string]*synth.Result, error) {
 func (s *Synthesis) SynthesizeLogicCtx(ctx context.Context) (map[string]*synth.Result, error) {
 	fus := s.FUs()
 	results, err := par.NamedMapCtx(ctx, "synth", s.Parallelism, fus, func(ctx context.Context, _ int, fu string) (*synth.Result, error) {
-		r, err := synth.SynthesizeSolver(ctx, s.Machines[fu], s.Parallelism, s.Minimizer, s.Solver)
+		rung, ok := s.Encodings[fu]
+		if !ok {
+			rung = -1
+		}
+		r, err := synth.SynthesizeRung(ctx, s.Machines[fu], s.Parallelism, s.Minimizer, s.Solver, rung)
 		if err != nil {
 			return nil, fmt.Errorf("core: synthesis of %s: %w", fu, err)
 		}

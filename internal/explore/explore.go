@@ -3,6 +3,11 @@
 // transformations (§2.3, §7): sequences of global and local transforms are
 // applied and scored, so a designer can trade communication cost, control
 // area and performance.
+//
+// The sweep is a degenerate rewrite search: each variant of the fixed
+// ablation grid maps to a search seed plan, and internal/search scores the
+// whole batch in one zero-wave run. `asyncsynth search` runs the same
+// evaluator with expansion waves enabled.
 package explore
 
 import (
@@ -11,14 +16,10 @@ import (
 	"strings"
 
 	"repro/internal/cdfg"
-	"repro/internal/core"
 	"repro/internal/logic"
 	"repro/internal/obs"
-	"repro/internal/par"
-	"repro/internal/sim"
+	"repro/internal/search"
 	"repro/internal/synth"
-	"repro/internal/timing"
-	"repro/internal/transform"
 )
 
 // Variant describes one point of the design space: which transforms run.
@@ -44,6 +45,19 @@ func AllVariants() []Variant {
 	}
 }
 
+// Plan maps a variant onto the search space's decision vector: skip flags
+// carry over, channel elimination keeps the built-in script, and the local
+// stage runs the full pipeline on every controller.
+func (v Variant) Plan() search.Plan {
+	return search.Plan{
+		Tag:     v.Name,
+		SkipGT1: v.SkipGT1, SkipGT2: v.SkipGT2, SkipGT3: v.SkipGT3,
+		SkipGT4: v.SkipGT4, SkipGT5: v.SkipGT5,
+		GT5Auto: !v.SkipGT5,
+		LT:      v.LT,
+	}
+}
+
 // Score is the evaluation of one variant.
 type Score struct {
 	Variant   Variant
@@ -61,6 +75,13 @@ type Score struct {
 	Literals    int
 	Synthesized bool
 	SynthError  string
+}
+
+// Failed reports whether the variant's flow, simulation, or requested
+// synthesis failed — such a score carries zeroed metrics and must never
+// win a comparison.
+func (s Score) Failed() bool {
+	return s.RunError != "" || s.SynthError != "" || !s.Simulated
 }
 
 // Options configures a sweep.
@@ -84,102 +105,71 @@ type Options struct {
 
 // Evaluate runs one variant on a fresh clone of the graph.
 func Evaluate(g *cdfg.Graph, v Variant) Score {
-	return evaluateOn(g.Clone(), v, Options{Workers: 1})
-}
-
-// evaluateOn scores one variant on a private working graph (which it
-// mutates), running the flow's internal fan-out on sweep.Workers. Each
-// evaluation is one obs span (stage "explore", unit = variant name), so a
-// traced sweep shows every variant's whole-flow cost side by side.
-func evaluateOn(work *cdfg.Graph, v Variant, sweep Options) Score {
-	sp := obs.Start("explore", v.Name)
-	defer sp.End()
-	obs.Add("explore/variants", 1)
-	sc := Score{Variant: v}
-	opt := core.Options{
-		Level:  core.OptimizedGT,
-		Timing: timing.DefaultModel(),
-		Transform: transform.Options{
-			Timing:  timing.DefaultModel(),
-			Unroll:  3,
-			SkipGT1: v.SkipGT1, SkipGT2: v.SkipGT2, SkipGT3: v.SkipGT3,
-			SkipGT4: v.SkipGT4, SkipGT5: v.SkipGT5,
-		},
-	}
-	opt.Parallelism = sweep.Workers
-	opt.Minimizer = sweep.Minimizer
-	opt.Solver = sweep.Solver
-	if v.LT {
-		opt.Level = core.OptimizedGTLT
-	}
-	s, err := core.Run(work, opt)
-	if err != nil {
-		sc.RunError = err.Error()
-		obs.Add("explore/errors", 1)
-		return sc
-	}
-	sc.Channels = s.Channels()
-	sc.Multiway = s.MultiwayChannels()
-	for _, m := range s.Machines {
-		sc.States += m.NumStates()
-		sc.Trans += m.NumTransitions()
-	}
-	sc.Assumed = len(s.Assumptions())
-	// Token-level makespan under the transformed graph (controller-level
-	// timing depends on the datapath model; the token makespan isolates the
-	// concurrency effect of the global transforms).
-	res, err := sim.NewTokenSim(work, sim.FromModel(timing.DefaultModel(), 1)).Run()
-	if err == nil && res.Finished {
-		sc.Makespan = res.FinishTime
-		sc.Simulated = true
-	}
-	if sweep.Synthesize {
-		results, err := s.SynthesizeLogic()
-		if err != nil {
-			sc.SynthError = err.Error()
-			obs.Add("explore/errors", 1)
-			return sc
-		}
-		for _, r := range results {
-			sc.Products += r.Products
-			sc.Literals += r.Literals
-		}
-		sc.Synthesized = true
-	}
-	return sc
+	return SweepWith(g, []Variant{v}, Options{Workers: 1})[0]
 }
 
 // Sweep evaluates every variant.
 func Sweep(g *cdfg.Graph, variants []Variant) []Score {
-	out := make([]Score, 0, len(variants))
-	for _, v := range variants {
-		out = append(out, Evaluate(g, v))
-	}
-	return out
+	return SweepWith(g, variants, Options{Workers: 1})
 }
 
 // SweepParallel evaluates every variant concurrently on up to `workers`
-// goroutines (0 = GOMAXPROCS, 1 = equivalent to Sweep). The graph is
-// cloned once per variant up front — on the calling goroutine, so the
-// source graph is never touched concurrently — and each variant runs the
-// whole flow on its private clone. Scores land in index-addressed slots,
-// so the result slice is identical to Sweep's, element for element.
+// goroutines (0 = GOMAXPROCS, 1 = equivalent to Sweep). Each variant runs
+// the whole flow on a private clone of the graph, and scores land in
+// index-addressed slots, so the result slice is identical to Sweep's,
+// element for element.
 func SweepParallel(g *cdfg.Graph, variants []Variant, workers int) []Score {
 	return SweepWith(g, variants, Options{Workers: workers})
 }
 
-// SweepWith is the fully-configurable sweep: SweepParallel's concurrency
-// contract plus optional gate-level scoring behind a shared memoization
-// layer. Scores are deterministic at every worker count and cache state.
+// SweepWith is the fully-configurable sweep, implemented as a degenerate
+// rewrite search: the variants become seed plans of a zero-wave
+// search.Run, whose batch evaluation carries the concurrency contract
+// (deterministic at every worker count and cache state), and the scored
+// seeds convert back one-to-one.
 func SweepWith(g *cdfg.Graph, variants []Variant, opt Options) []Score {
-	clones := make([]*cdfg.Graph, len(variants))
-	for i := range variants {
-		clones[i] = g.Clone()
+	plans := make([]search.Plan, len(variants))
+	for i, v := range variants {
+		plans[i] = v.Plan()
 	}
-	out, _ := par.NamedMap("explore", opt.Workers, variants, func(i int, v Variant) (Score, error) {
-		return evaluateOn(clones[i], v, opt), nil
+	res, _ := search.Run(g, search.Options{
+		Workers:    opt.Workers,
+		Waves:      -1, // score the seeds only
+		Budget:     len(plans),
+		Synthesize: opt.Synthesize,
+		Minimizer:  opt.Minimizer,
+		Solver:     opt.Solver,
+		Seeds:      plans,
 	})
+	obs.Add("explore/variants", int64(len(variants)))
+	out := make([]Score, len(variants))
+	for i, v := range variants {
+		out[i] = fromState(v, res.Seeds[i])
+		if out[i].RunError != "" || out[i].SynthError != "" {
+			obs.Add("explore/errors", 1)
+		}
+	}
 	return out
+}
+
+// fromState converts a scored search state back into the sweep's score row.
+func fromState(v Variant, st search.State) Score {
+	sc := st.Score
+	return Score{
+		Variant:     v,
+		Channels:    sc.Channels,
+		Multiway:    sc.Multiway,
+		States:      sc.States,
+		Trans:       sc.Trans,
+		Makespan:    sc.Makespan,
+		Assumed:     sc.Assumed,
+		RunError:    sc.RunError,
+		Simulated:   sc.Simulated,
+		Products:    sc.Products,
+		Literals:    sc.Literals,
+		Synthesized: sc.Synthesized,
+		SynthError:  sc.SynthError,
+	}
 }
 
 // Format renders a sweep as a table. Gate-level columns appear when any
@@ -223,13 +213,15 @@ func Format(scores []Score) string {
 	return b.String()
 }
 
-// Best returns the variant minimizing the given metric among simulated,
-// error-free scores.
+// Best returns the variant minimizing the given metric among fully scored
+// variants. A failed variant — flow error, failed simulation, or failed
+// requested synthesis — carries zeroed metrics that would otherwise sort
+// as a spurious optimum, so it is never eligible.
 func Best(scores []Score, metric func(Score) float64) (Score, bool) {
 	var best Score
 	found := false
 	for _, sc := range scores {
-		if sc.RunError != "" {
+		if sc.Failed() {
 			continue
 		}
 		if !found || metric(sc) < metric(best) {
@@ -244,7 +236,7 @@ func Best(scores []Score, metric func(Score) float64) (Score, bool) {
 func Pareto(scores []Score) []Score {
 	var valid []Score
 	for _, sc := range scores {
-		if sc.RunError == "" && sc.Simulated {
+		if !sc.Failed() {
 			valid = append(valid, sc)
 		}
 	}

@@ -75,3 +75,31 @@ func TestBestAndPareto(t *testing.T) {
 		t.Errorf("optimized flow missing from Pareto front: %v", names)
 	}
 }
+
+// TestBestSkipsFailedScores is the regression for the sweep scoring bug:
+// a variant whose run or synthesis failed carries zeroed metrics
+// (makespan 0, literals 0) that used to sort as a spurious optimum. Failed
+// scores of every flavor must lose to any fully scored variant, and a
+// sweep with no survivors must report none.
+func TestBestSkipsFailedScores(t *testing.T) {
+	good := Score{Variant: Variant{Name: "good"}, Makespan: 120, Literals: 80, Simulated: true}
+	failedRun := Score{Variant: Variant{Name: "run-err"}, RunError: "boom"}
+	failedSynth := Score{Variant: Variant{Name: "synth-err"}, Simulated: true, SynthError: "boom"}
+	unsimulated := Score{Variant: Variant{Name: "no-sim"}}
+	scores := []Score{failedRun, failedSynth, unsimulated, good}
+	for _, metric := range []func(Score) float64{
+		func(s Score) float64 { return s.Makespan },
+		func(s Score) float64 { return float64(s.Literals) },
+	} {
+		best, ok := Best(scores, metric)
+		if !ok {
+			t.Fatal("no best found")
+		}
+		if best.Variant.Name != "good" {
+			t.Errorf("failed variant won: %s", best.Variant.Name)
+		}
+	}
+	if _, ok := Best([]Score{failedRun, failedSynth, unsimulated}, func(s Score) float64 { return s.Makespan }); ok {
+		t.Error("Best reported a winner among failed scores")
+	}
+}

@@ -34,6 +34,46 @@ func (r *Report) assume(format string, args ...interface{}) {
 	r.Assumptions = append(r.Assumptions, fmt.Sprintf(format, args...))
 }
 
+// Config selects which local transforms run on a machine, and in which
+// order, so a rewrite search can toggle each decision independently. LT2's
+// reset move-down is inherent in the merged reset burst that LT4 produces,
+// so it rides the LT4 toggle rather than having one of its own; likewise
+// the return-to-zero wait restoration is a correctness repair for LT4, not
+// an independent choice.
+type Config struct {
+	LT1 bool // move done events up to the latch
+	LT3 bool // mux pre-selection
+	LT4 bool // acknowledgment removal (with merge + return-to-zero repair)
+	LT5 bool // signal sharing
+	// PreselectFirst reorders the pipeline to run LT3 before LT1. The
+	// default order (LT1 first) lets pre-selection see the merged bursts.
+	PreselectFirst bool
+}
+
+// FullConfig enables every local transform in the default order.
+func FullConfig() Config { return Config{LT1: true, LT3: true, LT4: true, LT5: true} }
+
+// Key renders the config as a compact stable string ("1345" for the full
+// default order, "-" for none, a leading "3<" when LT3 is reordered first).
+func (c Config) Key() string {
+	var b strings.Builder
+	if c.PreselectFirst {
+		b.WriteString("3<")
+	}
+	for _, t := range []struct {
+		on bool
+		s  string
+	}{{c.LT1, "1"}, {c.LT3, "3"}, {c.LT4, "4"}, {c.LT5, "5"}} {
+		if t.on {
+			b.WriteString(t.s)
+		}
+	}
+	if b.Len() == 0 {
+		return "-"
+	}
+	return b.String()
+}
+
 // Optimize applies the full local pipeline to the machine in place:
 // LT4 (acknowledgment removal), LT2 (reset move-down is inherent in the
 // merged reset burst), LT1 (move done events up to the latch), merge of
@@ -45,6 +85,13 @@ func (r *Report) assume(format string, args ...interface{}) {
 // after the whole pipeline land in lt/<machine>/... gauges — the raw
 // material of the paper's Figure 12 rows.
 func Optimize(m *bm.Machine) (*Report, error) {
+	return OptimizeWith(m, FullConfig())
+}
+
+// OptimizeWith runs the subset of local transforms cfg selects, in the
+// order it specifies. FullConfig reproduces Optimize exactly; the machine
+// is validated afterwards regardless of which transforms ran.
+func OptimizeWith(m *bm.Machine, cfg Config) (*Report, error) {
 	all := obs.Start("lt", m.Name)
 	obs.Set("lt/"+m.Name+"/states_before", int64(m.NumStates()))
 	obs.Set("lt/"+m.Name+"/transitions_before", int64(m.NumTransitions()))
@@ -55,11 +102,35 @@ func Optimize(m *bm.Machine) (*Report, error) {
 		f()
 		sp.End()
 	}
-	stage("lt4", func() { RemoveAcks(m, rep) })
-	stage("lt2", func() { MergeTriggerless(m, rep) })
-	stage("lt1", func() { MoveUpDones(m, rep); MergeTriggerless(m, rep) })
-	stage("lt3", func() { Preselect(m, rep) })
-	stage("lt5", func() { ShareSignals(m, rep) })
+	lt1 := func() {
+		if cfg.LT1 {
+			stage("lt1", func() { MoveUpDones(m, rep); MergeTriggerless(m, rep) })
+		}
+	}
+	lt3 := func() {
+		if cfg.LT3 {
+			stage("lt3", func() { Preselect(m, rep) })
+		}
+	}
+	if cfg.LT4 {
+		stage("lt4", func() { RemoveAcks(m, rep) })
+		stage("lt2", func() { MergeTriggerless(m, rep) })
+	}
+	if cfg.PreselectFirst {
+		lt3()
+	}
+	lt1()
+	if cfg.LT4 {
+		// The repair runs after the merges above expose any reset/re-raise
+		// adjacency; it is part of LT4's soundness, never toggled alone.
+		stage("lt4", func() { RestoreRZWaits(m, rep) })
+	}
+	if !cfg.PreselectFirst {
+		lt3()
+	}
+	if cfg.LT5 {
+		stage("lt5", func() { ShareSignals(m, rep) })
+	}
 	err := m.Validate()
 	if err != nil {
 		err = fmt.Errorf("local: machine %s invalid after optimization: %w", m.Name, err)
@@ -78,6 +149,16 @@ func Optimize(m *bm.Machine) (*Report, error) {
 
 // isAck reports whether a signal is a datapath acknowledgment wire.
 func isAck(sig string) bool { return strings.HasSuffix(sig, "_a") }
+
+// hasInput reports whether the machine lists sig as an input.
+func hasInput(m *bm.Machine, sig string) bool {
+	for _, in := range m.Inputs {
+		if in == sig {
+			return true
+		}
+	}
+	return false
+}
 
 // keepAck reports whether the default LT4 policy retains an
 // acknowledgment: only the operation-completion (go) and latch-completion
@@ -226,6 +307,68 @@ func repairWithRZ(m *bm.Machine, t *bm.Transition, preds []*bm.Transition, rep *
 		added = true
 	}
 	return added
+}
+
+// RestoreRZWaits re-adds the return-to-zero acknowledgment wait wherever
+// a transition re-raises a retained request right after a predecessor
+// reset it. LT4 drops the falling ack phases on the assumption that the
+// handshake settles before the controller depends on it; that assumption
+// fails when the reset and the re-raise are back-to-back transitions: if
+// the re-raise's own trigger is already satisfied on entry, the gate-level
+// controller can observe the previous handshake's acknowledgment still
+// high and treat the next wait as complete, latching a stale result. The
+// restored wait is the same rule repairWithRZ applies to stuck merges,
+// here applied to every transition after merging exposes the adjacency.
+func RestoreRZWaits(m *bm.Machine, rep *Report) {
+	for _, t := range m.Transitions {
+		if t.From == m.Init {
+			// The initial state is entered at reset with every ack low; a
+			// falling wait there could never be satisfied on that entry.
+			// Loop-back re-raises out of the initial state are triggered by
+			// fresh completion wires whose latency dwarfs the ack fall.
+			continue
+		}
+		for _, e := range t.Out {
+			if e.Edge != bm.Rise || isAck(e.Signal) || !keepAck(e.Signal) {
+				continue
+			}
+			ack := e.Signal + "_a"
+			if !hasInput(m, ack) || t.HasInput(ack) {
+				continue
+			}
+			// Every entry path must have just reset the request: on a path
+			// where the handshake never ran the ack is low and the falling
+			// wait could never be satisfied.
+			preds := m.InTransitions(t.From)
+			resetByAll := len(preds) > 0
+			for _, p := range preds {
+				resetByThis := false
+				if p != t {
+					for _, pe := range p.Out {
+						if pe.Signal == e.Signal && pe.Edge == bm.Fall {
+							resetByThis = true
+						}
+					}
+				}
+				if !resetByThis {
+					resetByAll = false
+				}
+			}
+			if !resetByAll {
+				continue
+			}
+			t.In = append(t.In, bm.Event{Signal: ack, Edge: bm.Fall})
+			var free []string
+			for _, f := range t.Free {
+				if f != ack {
+					free = append(free, f)
+				}
+			}
+			t.Free = free
+			rep.note("LT4: kept return-to-zero wait %s- before re-raising %s", ack, e.Signal)
+			rep.assume("LT4: %s falling phase is observed where %s is immediately re-raised", ack, e.Signal)
+		}
+	}
 }
 
 // burstConflict reports whether appending b to a would put two events of

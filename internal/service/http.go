@@ -25,6 +25,7 @@ const maxRequestBytes = 4 << 20
 type JobStatus struct {
 	ID     string          `json:"id"`
 	State  string          `json:"state"`
+	Mode   string          `json:"mode,omitempty"`
 	Error  string          `json:"error,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 }
@@ -37,7 +38,11 @@ type errorBody struct {
 // Handler returns the daemon's HTTP API:
 //
 //	POST   /v1/jobs       submit a design (?level= selects the
-//	                      optimization level, default the full ladder).
+//	                      optimization level, default the full ladder;
+//	                      ?mode= selects what runs: "synth" (default) is
+//	                      the fixed pipeline, "search" the cost-directed
+//	                      rewrite search, which picks the transforms
+//	                      itself and ignores ?level=).
 //	                      The body is negotiated on Content-Type:
 //	                      application/json (or absent) is a codec graph
 //	                      document; text/x-adl, text/adl or text/plain is
@@ -78,12 +83,18 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		level = parsed
 	}
+	mode, ok := ParseMode(r.URL.Query().Get("mode"))
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown mode "+r.URL.Query().Get("mode")+
+			" (want synth or search)")
+		return
+	}
 	g, err := decodeSubmission(r.Header.Get("Content-Type"), body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	job, err := m.Submit(g, level)
+	job, err := m.SubmitMode(g, level, mode)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, err.Error())
@@ -184,7 +195,7 @@ func handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func statusOf(job *Job) JobStatus {
 	job.mu.Lock()
 	defer job.mu.Unlock()
-	st := JobStatus{ID: job.id, State: job.state.String()}
+	st := JobStatus{ID: job.id, State: job.state.String(), Mode: string(job.mode)}
 	if job.err != nil {
 		st.Error = job.err.Error()
 	}

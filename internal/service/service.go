@@ -1,7 +1,11 @@
 // Package service turns the synthesis pipeline into a long-running job
 // server: a bounded admission queue in front of a fixed pool of job
 // runners, each executing the full flow (core.RunCtx followed by
-// gate-level SynthesizeLogicCtx) under a per-job context.
+// gate-level SynthesizeLogicCtx) under a per-job context. A job's Mode
+// selects what runs: ModeSynth (default) is the fixed pipeline at the
+// requested optimization level; ModeSearch runs the cost-directed
+// rewrite search (internal/search) and returns the winning plan's
+// synthesis document.
 //
 // # Job lifecycle
 //
@@ -51,10 +55,41 @@ import (
 	"repro/internal/core"
 	"repro/internal/logic"
 	"repro/internal/obs"
+	"repro/internal/search"
 	"repro/internal/synth"
 	"repro/internal/timing"
 	"repro/internal/transform"
 )
+
+// Mode selects what a job computes.
+type Mode string
+
+// Job modes.
+const (
+	// ModeSynth runs the fixed pipeline at the job's optimization level and
+	// returns its synthesis document — the default.
+	ModeSynth Mode = "synth"
+	// ModeSearch runs the cost-directed rewrite search over the transform
+	// space and returns the synthesis document of the winning plan. The
+	// job's optimization level is ignored: the search decides per decision
+	// which transforms run.
+	ModeSearch Mode = "search"
+)
+
+// ParseMode maps a wire-format mode string to a Mode; the empty string
+// selects the default ModeSynth.
+func ParseMode(s string) (Mode, bool) {
+	switch s {
+	case "":
+		return ModeSynth, true
+	case string(ModeSynth):
+		return ModeSynth, true
+	case string(ModeSearch):
+		return ModeSearch, true
+	default:
+		return "", false
+	}
+}
 
 // State is a job's position in the lifecycle state machine.
 type State int
@@ -122,6 +157,13 @@ type Config struct {
 	// construction; see memo.NewSolver). Zero value is the
 	// branch-and-bound reference.
 	Solver logic.Solver
+	// SearchWaves, SearchBeam and SearchBudget size the rewrite search
+	// behind ModeSearch jobs. Zero values select a bounded service profile
+	// (1 wave, beam 2, 16 evaluations) — deliberately tighter than the CLI
+	// defaults, because every evaluation is a full synthesis run and job
+	// latency should stay in interactive range. SearchWaves < 0 scores the
+	// ablation seeds only (a served exploration sweep).
+	SearchWaves, SearchBeam, SearchBudget int
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +176,15 @@ func (c Config) withDefaults() Config {
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if c.SearchWaves == 0 {
+		c.SearchWaves = 1
+	}
+	if c.SearchBeam <= 0 {
+		c.SearchBeam = 2
+	}
+	if c.SearchBudget <= 0 {
+		c.SearchBudget = 16
+	}
 	return c
 }
 
@@ -143,6 +194,7 @@ type Job struct {
 	id    string
 	graph *cdfg.Graph
 	level core.Level
+	mode  Mode
 
 	mu     sync.Mutex
 	state  State
@@ -157,6 +209,9 @@ type Job struct {
 
 // ID returns the job's server-assigned identifier.
 func (j *Job) ID() string { return j.id }
+
+// Mode returns what the job computes (ModeSynth or ModeSearch).
+func (j *Job) Mode() Mode { return j.mode }
 
 // State returns the job's current lifecycle state.
 func (j *Job) State() State {
@@ -235,6 +290,16 @@ func New(cfg Config) *Manager {
 // level, or rejects it with ErrQueueFull / ErrDraining. The graph must
 // already be validated (the codec's DecodeGraph guarantees this).
 func (m *Manager) Submit(graph *cdfg.Graph, level core.Level) (*Job, error) {
+	return m.SubmitMode(graph, level, ModeSynth)
+}
+
+// SubmitMode is Submit with an explicit job mode. An unknown mode is a
+// caller bug (the HTTP layer validates with ParseMode first) and is
+// rejected before the job is admitted.
+func (m *Manager) SubmitMode(graph *cdfg.Graph, level core.Level, mode Mode) (*Job, error) {
+	if mode != ModeSynth && mode != ModeSearch {
+		return nil, fmt.Errorf("service: unknown job mode %q", mode)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
@@ -245,6 +310,7 @@ func (m *Manager) Submit(graph *cdfg.Graph, level core.Level) (*Job, error) {
 		id:        fmt.Sprintf("job-%06d", m.nextID),
 		graph:     graph,
 		level:     level,
+		mode:      mode,
 		state:     StateQueued,
 		done:      make(chan struct{}),
 		submitted: time.Now(),
@@ -389,7 +455,13 @@ func (m *Manager) runJob(job *Job) {
 		m.mu.Unlock()
 	}()
 
-	enc, err := m.synthesize(ctx, job)
+	var enc []byte
+	var err error
+	if job.mode == ModeSearch {
+		enc, err = m.searchJob(ctx, job)
+	} else {
+		enc, err = m.synthesize(ctx, job)
+	}
 	switch {
 	case err == nil:
 		job.finish(StateDone, enc, nil)
@@ -403,12 +475,19 @@ func (m *Manager) runJob(job *Job) {
 	}
 }
 
-// synthesize runs the full pipeline for one job and encodes the result.
-func (m *Manager) synthesize(ctx context.Context, job *Job) ([]byte, error) {
+// perJobWorkers divides the process-wide parallelism budget evenly across
+// the concurrent runners.
+func (m *Manager) perJobWorkers() int {
 	perJob := m.cfg.Parallelism / m.cfg.Concurrency
 	if perJob < 1 {
 		perJob = 1
 	}
+	return perJob
+}
+
+// synthesize runs the full pipeline for one job and encodes the result.
+func (m *Manager) synthesize(ctx context.Context, job *Job) ([]byte, error) {
+	perJob := m.perJobWorkers()
 	opts := core.Options{
 		Level:       job.level,
 		Timing:      timing.DefaultModel(),
@@ -418,6 +497,38 @@ func (m *Manager) synthesize(ctx context.Context, job *Job) ([]byte, error) {
 		Solver:      m.cfg.Solver,
 	}
 	s, err := core.RunCtx(ctx, job.graph, opts)
+	if err != nil {
+		return nil, err
+	}
+	results, err := s.SynthesizeLogicCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return codec.EncodeSynthesis(s, results)
+}
+
+// searchJob runs the cost-directed rewrite search for one job and encodes
+// the synthesis document of the winning plan. The search scores candidates
+// on clones of the job's graph with gate-level synthesis on (the shared
+// minimizer cache absorbs the repeat minimizations); the winner is then
+// realized once more through the standard pipeline so the result document
+// is exactly what a ModeSynth job with that plan's options would return.
+func (m *Manager) searchJob(ctx context.Context, job *Job) ([]byte, error) {
+	perJob := m.perJobWorkers()
+	res, err := search.RunCtx(ctx, job.graph, search.Options{
+		Workers:    perJob,
+		Waves:      m.cfg.SearchWaves,
+		Beam:       m.cfg.SearchBeam,
+		Budget:     m.cfg.SearchBudget,
+		Synthesize: true,
+		Minimizer:  m.cfg.Minimizer,
+		Solver:     m.cfg.Solver,
+	})
+	if err != nil {
+		return nil, err
+	}
+	copt := res.Best.Plan.CoreOptions(perJob, m.cfg.Minimizer, m.cfg.Solver)
+	s, err := core.RunCtx(ctx, job.graph, copt)
 	if err != nil {
 		return nil, err
 	}

@@ -75,6 +75,57 @@ func TestSubmitToCompletion(t *testing.T) {
 	}
 }
 
+// TestSearchModeToCompletion submits a ModeSearch job and checks the result
+// is a well-formed synthesis document of the search winner. The seeds-only
+// profile (SearchWaves < 0) keeps the job to one ablation sweep.
+func TestSearchModeToCompletion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-mode job runs gate-level synthesis per candidate")
+	}
+	m := New(Config{Concurrency: 1, Parallelism: 4, SearchWaves: -1, SearchBudget: 8})
+	defer m.Close()
+	job, err := m.SubmitMode(diffeq.Build(diffeq.DefaultParams()), core.OptimizedGTLT, ModeSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Mode() != ModeSearch {
+		t.Fatalf("job mode %q, want search", job.Mode())
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(5 * time.Minute):
+		t.Fatal("search job did not finish")
+	}
+	if job.State() != StateDone {
+		t.Fatalf("state %v (err %v), want done", job.State(), job.Err())
+	}
+	doc, err := codec.DecodeSynthesis(job.Result())
+	if err != nil {
+		t.Fatalf("result does not decode: %v", err)
+	}
+	if doc.Name != "diffeq" || len(doc.Controllers) == 0 {
+		t.Fatalf("unexpected result: name=%q controllers=%d", doc.Name, len(doc.Controllers))
+	}
+}
+
+// TestSubmitModeValidation pins the mode domain: the empty string and the
+// two named modes parse, anything else is rejected before admission.
+func TestSubmitModeValidation(t *testing.T) {
+	for _, s := range []string{"", "synth", "search"} {
+		if _, ok := ParseMode(s); !ok {
+			t.Errorf("ParseMode(%q) rejected", s)
+		}
+	}
+	if _, ok := ParseMode("bogus"); ok {
+		t.Error("ParseMode accepted an unknown mode")
+	}
+	m := New(Config{Concurrency: 1})
+	defer m.Close()
+	if _, err := m.SubmitMode(diffeq.Build(diffeq.DefaultParams()), core.OptimizedGTLT, Mode("bogus")); err == nil {
+		t.Error("SubmitMode accepted an unknown mode")
+	}
+}
+
 func TestBackpressureRejectsBeyondQueueDepth(t *testing.T) {
 	min := &gateMin{gate: make(chan struct{})}
 	m := New(Config{Concurrency: 1, QueueDepth: 1, Minimizer: min})
@@ -341,6 +392,13 @@ func TestHTTPEndToEnd(t *testing.T) {
 	}
 	if readAll(t, resp); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad level: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/jobs?mode=bogus", "application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "unknown mode") {
+		t.Fatalf("bad mode: %d %q", resp.StatusCode, body)
 	}
 }
 

@@ -25,6 +25,8 @@ type LogicSystem struct {
 	MaxEvents  int
 	// Trace, when set, observes every controller input event.
 	Trace func(t float64, fu, sig string, level bool)
+	// TraceOut, when set, observes every controller output level change.
+	TraceOut func(t float64, fu, sig string, level bool)
 	// Watch, when set, observes every register latch.
 	Watch func(t float64, dst string, v float64)
 }
@@ -70,7 +72,11 @@ func (sys *LogicSystem) Run() (*LogicResult, error) {
 	for k, v := range sys.G.Init {
 		r.regs[k] = v
 	}
-	for fu, ev := range sys.Evaluators {
+	// Iterate all maps in sorted order: delays are drawn from a shared
+	// seeded PRNG in scheduling order, so map-iteration order would make
+	// runs with the same seed diverge across processes.
+	for _, fu := range sortedKeys(sys.Evaluators) {
+		ev := sys.Evaluators[fu]
 		r.fus[fu] = &fuState{}
 		for _, in := range ev.Inputs {
 			if bm.IsWire(in) {
@@ -83,19 +89,20 @@ func (sys *LogicSystem) Run() (*LogicResult, error) {
 	}
 	// Reset: condition levels reflect initial register values; primed wires
 	// and start wires rise at t=0.
-	for reg, fus := range r.condRx {
-		for _, fu := range fus {
+	for _, reg := range sortedKeys(r.condRx) {
+		for _, fu := range r.condRx[reg] {
 			reg, fu := reg, fu
 			r.schedule(0, func(t float64) { r.setInput(fu, reg, r.regs[reg] != 0, t) })
 		}
 	}
-	for wire := range sys.Primers {
+	for _, wire := range sortedKeys(sys.Primers) {
 		for _, fu := range r.wireRx[wire] {
 			wire, fu := wire, fu
 			r.schedule(0, func(t float64) { r.setInput(fu, wire, true, t) })
 		}
 	}
-	for fu, ev := range sys.Evaluators {
+	for _, fu := range sortedKeys(sys.Evaluators) {
+		ev := sys.Evaluators[fu]
 		for _, in := range ev.Inputs {
 			if strings.HasPrefix(in, "start") {
 				in, fu := in, fu
@@ -132,8 +139,8 @@ func (r *lsRun) setInput(fu, signal string, level bool, t float64) {
 	}
 	ev := r.sys.Evaluators[fu]
 	changes, next := ev.Set(signal, level)
-	for sig, lvl := range changes {
-		r.emitLevel(fu, sig, lvl)
+	for _, sig := range sortedKeys(changes) {
+		r.emitLevel(fu, sig, changes[sig])
 	}
 	r.feedback(fu, next, t)
 }
@@ -157,8 +164,8 @@ func (r *lsRun) feedback(fu string, next uint64, t float64) {
 	}
 	r.schedule(fb(), func(tt float64) {
 		changes, follow := ev.Commit(next)
-		for sig, lvl := range changes {
-			r.emitLevel(fu, sig, lvl)
+		for _, sig := range sortedKeys(changes) {
+			r.emitLevel(fu, sig, changes[sig])
 		}
 		r.feedback(fu, follow, tt)
 	})
@@ -167,6 +174,9 @@ func (r *lsRun) feedback(fu string, next uint64, t float64) {
 // emitLevel routes a controller output level change to the datapath or to
 // receiving controllers, expanding LT5-shared signals.
 func (r *lsRun) emitLevel(fu, sig string, level bool) {
+	if r.sys.TraceOut != nil {
+		r.sys.TraceOut(r.now, fu, sig, level)
+	}
 	signals := []string{sig}
 	if r.sys.Shared != nil {
 		signals = append(signals, r.sys.Shared[fu][sig]...)

@@ -175,7 +175,11 @@ func (sys *MachineSystem) Run() (*MachineResult, error) {
 	for k, v := range sys.G.Init {
 		r.regs[k] = v
 	}
-	for fu, m := range sys.Machines {
+	// Iterate all maps in sorted order: delays are drawn from a shared
+	// seeded PRNG in scheduling order, so map-iteration order would make
+	// runs with the same seed diverge across processes.
+	for _, fu := range sortedKeys(sys.Machines) {
+		m := sys.Machines[fu]
 		cs := &ctrlState{fu: fu, m: m, state: m.Init,
 			events: map[string][]bm.Edge{}, consumed: map[string]int{}}
 		r.ctrls[fu] = cs
@@ -194,7 +198,8 @@ func (sys *MachineSystem) Run() (*MachineResult, error) {
 		r.expand[fu] = exp
 	}
 	// Reset: prime the backward-constraint wires.
-	for wire, edge := range sys.Primers {
+	for _, wire := range sortedKeys(sys.Primers) {
+		edge := sys.Primers[wire]
 		for _, rx := range r.wireRx[wire] {
 			rx, wire, edge := rx, wire, edge
 			r.schedule(0, func(t float64) { r.deliver(rx, wire, edge, t) })
@@ -202,7 +207,8 @@ func (sys *MachineSystem) Run() (*MachineResult, error) {
 	}
 	// Environment: raise all start wires at t=0.
 	started := map[string]bool{}
-	for fu, m := range sys.Machines {
+	for _, fu := range sortedKeys(sys.Machines) {
+		m := sys.Machines[fu]
 		for _, in := range m.Inputs {
 			if strings.HasPrefix(in, "start") && !started[in+fu] {
 				started[in+fu] = true
@@ -418,6 +424,17 @@ func (r *msRun) latch(cs *ctrlState, dst string, t float64) {
 	default:
 		r.res.Violations = append(r.res.Violations, fmt.Sprintf("t=%.2f latch %s with unselected register mux", t, dst))
 	}
+}
+
+// sortedKeys returns the map's keys in sorted order, for deterministic
+// iteration wherever scheduling draws delays from the shared PRNG.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func b2f(b bool) float64 {

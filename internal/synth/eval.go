@@ -174,3 +174,6 @@ func (ev *Evaluator) State() uint64 { return ev.state }
 
 // Output returns the current level of an output signal.
 func (ev *Evaluator) Output(sig string) bool { return ev.outs[sig] }
+
+// Level returns the current level of an input signal (diagnostics).
+func (ev *Evaluator) Level(sig string) bool { return ev.levels[sig] }

@@ -111,7 +111,47 @@ func SynthesizeCtx(ctx context.Context, m *bm.Machine, workers int, min Minimize
 // backend configuration (internal/memo's cache is constructed with one).
 // Exact backends are bit-identical whenever their search completes, so the
 // solver choice affects wall time, not synthesized logic.
-func SynthesizeSolver(ctx context.Context, m *bm.Machine, workers int, min Minimizer, solver logic.Solver) (_ *Result, err error) {
+func SynthesizeSolver(ctx context.Context, m *bm.Machine, workers int, min Minimizer, solver logic.Solver) (*Result, error) {
+	return SynthesizeRung(ctx, m, workers, min, solver, -1)
+}
+
+// attempt is one rung of the encoding-attempt ladder.
+type attempt struct {
+	oneHot, strict, feedback bool
+}
+
+// encodingLadder orders the encoding attempts: hazard-free implementations
+// first (a plain fallback cover can glitch at gate level) — binary
+// encodings of increasing width, then the same with output feedback
+// (bounded by variable count), then one-hot; only then the lenient modes
+// that accept plain fallback covers.
+var encodingLadder = []attempt{
+	{strict: true},
+	{strict: true, oneHot: true},
+	{strict: true, feedback: true},
+	{},
+	{oneHot: true},
+}
+
+// NumRungs returns the length of the encoding-attempt ladder, for callers
+// that enumerate forced rungs as search moves.
+func NumRungs() int { return len(encodingLadder) }
+
+// RungName describes ladder rung i for reports and traces.
+func RungName(i int) string {
+	names := []string{"strict-binary", "strict-onehot", "strict-feedback", "binary", "onehot"}
+	if i < 0 || i >= len(names) {
+		return "auto"
+	}
+	return names[i]
+}
+
+// SynthesizeRung is SynthesizeSolver restricted to a single rung of the
+// encoding-attempt ladder (0-based; negative tries the whole ladder as
+// usual). Forcing a rung lets a rewrite search treat the encoding style as
+// an explicit decision instead of always accepting the first rung that
+// succeeds.
+func SynthesizeRung(ctx context.Context, m *bm.Machine, workers int, min Minimizer, solver logic.Solver, rung int) (_ *Result, err error) {
 	sp := obs.Start("synth", m.Name)
 	defer func() { sp.EndErr(err) }()
 	c, err := Concretize(m)
@@ -127,20 +167,12 @@ func SynthesizeSolver(ctx context.Context, m *bm.Machine, workers int, min Minim
 		minBits++
 	}
 	var lastErr error
-	// Attempt ladder: hazard-free implementations first (a plain fallback
-	// cover can glitch at gate level) — binary encodings of increasing
-	// width, then the same with output feedback (bounded by variable
-	// count), then one-hot; only then the lenient modes that accept plain
-	// fallback covers.
-	type attempt struct {
-		oneHot, strict, feedback bool
-	}
-	ladder := []attempt{
-		{strict: true},
-		{strict: true, oneHot: true},
-		{strict: true, feedback: true},
-		{},
-		{oneHot: true},
+	ladder := encodingLadder
+	if rung >= 0 {
+		if rung >= len(encodingLadder) {
+			return nil, fmt.Errorf("synth %s: encoding rung %d out of range (ladder has %d)", m.Name, rung, len(encodingLadder))
+		}
+		ladder = encodingLadder[rung : rung+1]
 	}
 	for _, a := range ladder {
 		// Cancellation checkpoint between ladder rungs: a cancelled job
@@ -274,6 +306,25 @@ func synthesizeWith(ctx context.Context, c *Concrete, enc map[int]uint64, bits i
 		fns = append(fns, fn{name: fmt.Sprintf("Y%d", b), ybit: b})
 	}
 
+	// Terminal states (no outgoing transition) get no phase-1 hold
+	// requirement from the transition loop below: without one, every input
+	// combination there is a don't-care, and the minimized cover is free to
+	// fire arbitrary outputs or drop state bits once the final handshake's
+	// unobserved ack falls — or a late wire edge from a still-running
+	// peer — land after the machine has stopped. Each one gets an explicit
+	// hold face instead: every function frozen at its resting value across
+	// the state's whole input space.
+	hasOut := map[int]bool{}
+	for _, t := range c.Trans {
+		hasOut[t.From] = true
+	}
+	var terminals []int
+	for _, sid := range c.ReachableStates() {
+		if !hasOut[sid] {
+			terminals = append(terminals, sid)
+		}
+	}
+
 	// The span ends with the closure's actual error outcome (named return),
 	// so failed minimizations are attributed in traces instead of reading
 	// as clean spans. The span's unit field identifies the controller and
@@ -339,6 +390,32 @@ func synthesizeWith(ctx context.Context, c *Concrete, enc map[int]uint64, bits i
 						spec.Transitions = append(spec.Transitions, t2)
 					}
 				}
+			}
+		}
+		for _, sid := range terminals {
+			st := c.States[sid]
+			cube := bindState(logic.FullCube(n), enc[sid], bits, n)
+			if feedback {
+				for _, sig := range c.Outputs {
+					if i, ok := varIdx[sig]; ok {
+						if lvl := levelOf(st, sig); lvl >= 0 {
+							cube = cube.With(i, boolVal(lvl == 1))
+						}
+					}
+				}
+			}
+			var kind hfmin.Kind
+			if f.out != "" {
+				lvl := levelOf(st, f.out)
+				if lvl < 0 {
+					continue // resting level unknown (toggle wire): no hold
+				}
+				kind = staticLevel(lvl)
+			} else {
+				kind = staticLevel(b2i(enc[sid]&(1<<uint(f.ybit)) != 0))
+			}
+			if tHold, ok := mkTrans(cube, cube, kind); ok {
+				spec.Transitions = append(spec.Transitions, tHold)
 			}
 		}
 		hf := true

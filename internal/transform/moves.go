@@ -1,0 +1,80 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/cdfg"
+)
+
+// Merge is one immediately applicable channel merge (GT5.1, preceded by any
+// GT5.3 symmetrization additions it needs), exposed so a rewrite search can
+// apply the GT5 pipeline one decision at a time instead of running the
+// built-in budgeted merge search.
+type Merge struct {
+	I, J int              // channel indices into Plan.Channels, I < J
+	Adds [][2]cdfg.NodeID // symmetrization arcs added before the merge
+}
+
+func (m Merge) String() string {
+	return fmt.Sprintf("merge ch[%d]+ch[%d] (+%d sym arcs)", m.I, m.J, len(m.Adds))
+}
+
+// CandidateMerges enumerates every merge applicable to the plan as it
+// stands, in deterministic (I, J) order. Indices are positions in
+// Plan.Channels and stay valid only until the next ApplyMerge or ReduceOnce.
+func (p *Plan) CandidateMerges() []Merge {
+	reach := cdfg.NewReach(p.G)
+	var out []Merge
+	for i := 0; i < len(p.Channels); i++ {
+		for j := i + 1; j < len(p.Channels); j++ {
+			adds, ok := mergePlan(p.G, reach, p.Channels[i], p.Channels[j])
+			if !ok {
+				continue
+			}
+			out = append(out, Merge{I: i, J: j, Adds: adds})
+		}
+	}
+	return out
+}
+
+// ApplyMerge applies one candidate merge to the plan and its graph.
+func (p *Plan) ApplyMerge(m Merge) {
+	p.applyMove(mergeMove{i: m.I, j: m.J, adds: m.Adds})
+}
+
+// ReduceOnce applies a single GT5.2 concurrency-reduction step and reports
+// whether one applied. Eliminate runs this to fixpoint; a search calls it
+// per decision.
+func (p *Plan) ReduceOnce() bool { return p.reduceConcurrency() }
+
+// Script is an explicit GT5 decision trace: each Merges entry indexes the
+// CandidateMerges enumeration at that point in the replay, followed by a
+// number of single GT5.2 reduction steps (negative means run to fixpoint,
+// reproducing Eliminate's post-pass).
+type Script struct {
+	Merges  []int
+	Reduces int
+}
+
+// Replay applies the script to the plan and returns how many GT5.2
+// reductions actually applied. A merge index outside the candidate
+// enumeration at its step is an error: scripts are produced by enumerating
+// candidates on an identical graph, so a mismatch means the trace and the
+// graph have diverged.
+func (p *Plan) Replay(s Script) (int, error) {
+	for step, k := range s.Merges {
+		cands := p.CandidateMerges()
+		if k < 0 || k >= len(cands) {
+			return 0, fmt.Errorf("gt5 script: merge step %d: candidate %d out of range (%d applicable)", step, k, len(cands))
+		}
+		p.ApplyMerge(cands[k])
+	}
+	reduced := 0
+	for s.Reduces < 0 || reduced < s.Reduces {
+		if !p.ReduceOnce() {
+			break
+		}
+		reduced++
+	}
+	return reduced, nil
+}

@@ -15,6 +15,10 @@ type Options struct {
 	Unroll int
 	// Skip flags disable individual transforms for ablation studies.
 	SkipGT1, SkipGT2, SkipGT3, SkipGT4, SkipGT5 bool
+	// GT5 replays an explicit channel-elimination decision trace instead of
+	// the built-in budgeted merge search. Nil keeps the default Eliminate
+	// behavior; ignored when SkipGT5 is set.
+	GT5 *Script
 }
 
 // DefaultOptions enables the full pipeline with the default delay model.
@@ -74,9 +78,18 @@ func OptimizeGT(g *cdfg.Graph, opt Options) (*Plan, []*Report, error) {
 	if !opt.SkipGT5 {
 		obs.Set("gt5/channels_before", int64(plan.Count()))
 		sp := obs.Start("gt5", "")
-		rep := plan.Eliminate()
-		sp.End()
+		var err error
+		if opt.GT5 != nil {
+			_, err = plan.Replay(*opt.GT5)
+		} else {
+			plan.Eliminate()
+		}
+		rep := plan.Report
+		sp.EndErr(err)
 		reports = append(reports, rep)
+		if err != nil {
+			return nil, reports, err
+		}
 		obs.Add("gt5/arcs_added", int64(len(rep.Added)))
 		obs.Add("gt5/arcs_removed", int64(len(rep.Removed)))
 		obs.Set("gt5/channels_after", int64(plan.Count()))

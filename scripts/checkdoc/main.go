@@ -3,10 +3,10 @@
 //  1. Every package must carry a package-level doc comment (godoc). It
 //     walks the module tree, parsing only package clauses and their
 //     comments (no type checking, so it is fast and dependency-free).
-//  2. The user-facing library packages (internal/frontend, internal/gen)
-//     must document every exported identifier — these are the packages
-//     the manual points new users at, so an undocumented export there is
-//     a doc regression, not a style nit.
+//  2. The user-facing library packages (internal/frontend, internal/gen,
+//     internal/search) must document every exported identifier — these
+//     are the packages the manual points new users at, so an
+//     undocumented export there is a doc regression, not a style nit.
 //
 // Run from the repo root, typically via scripts/verify.sh:
 //
@@ -32,6 +32,7 @@ import (
 var strictDirs = []string{
 	"internal/frontend",
 	"internal/gen",
+	"internal/search",
 }
 
 func main() {

@@ -39,6 +39,22 @@ echo "   full pipeline on all three benchmarks)"
 go test -race -run 'TestSolverCrossCheck|TestPortfolioDeterministic|TestGCDWorstCaseFixture' -count=1 ./internal/logic
 go test -race -run 'TestWorstCaseSpecSolvers' -count=1 ./internal/hfmin
 go test -race -run 'TestPortfolioSolverEquivalence' -count=1 .
+echo "== gate-level closure (synthesized logic verified on every registry"
+echo "   benchmark, including the formerly-failing FIR and AR)"
+go test -race -run 'TestGateClosureRegistry' -count=1 ./internal/bench
+echo "== rewrite search smoke (DIFFEQ, bounded profile; appending to"
+echo "   BENCH_search.json)"
+search_out=$(go run ./cmd/asyncsynth search diffeq -waves 1 -budget 16)
+echo "$search_out"
+{
+	printf '{"date":"%s","commit":"%s",' \
+		"$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+	echo "$search_out" | awk '
+		/^  cost / { cost = $2 }
+		/^best fixed ablation/ { gsub(/[()]/, ""); abl = $NF }
+		END { printf("\"search_cost\":%s,\"ablation_cost\":%s}\n", cost, abl) }'
+} >>BENCH_search.json
 echo "== covering worst-case benchmarks (appending to BENCH_covering.json)"
 bench_out=$(go test -run '^$' -bench 'BenchmarkCoveringWorstCase|BenchmarkMinimizeWorstCase' \
 	-benchtime 20x ./internal/logic ./internal/hfmin)
