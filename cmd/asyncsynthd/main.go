@@ -1,11 +1,14 @@
 // Command asyncsynthd serves the synthesis pipeline as a long-running
-// HTTP job server (synthesis-as-a-service).
+// HTTP job server (synthesis-as-a-service), standalone or as one node of
+// a coordinated fleet.
 //
 // Usage:
 //
 //	asyncsynthd [-addr host:port] [-queue-depth N] [-concurrency N]
 //	            [-j N] [-job-timeout D] [-drain-timeout D]
-//	            [-cache-dir dir] [-no-cache]
+//	            [-cache-dir dir] [-no-cache] [-no-dedup]
+//	            [-self URL] [-peers URL,URL,...] [-cache-peers URL,...]
+//	            [-cache-timeout D] [-health-interval D]
 //
 // API:
 //
@@ -19,18 +22,35 @@
 //	                             (asyncsynth compile checks one locally)
 //	GET    /v1/jobs/{id}         poll job state (result embedded when done)
 //	GET    /v1/jobs/{id}/result  the synthesis document, byte-for-byte
+//	GET    /v1/jobs/{id}/events  job progress: SSE stream of lifecycle and
+//	                             pipeline-span events (?poll=1 long-polls
+//	                             JSON batches instead)
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /v1/cache/{key}       one solved minimization record, for peer
+//	                             cache fills (fleet mode)
 //	GET    /healthz              liveness (503 while draining)
 //	GET    /metrics              Prometheus text exposition of the obs
 //	                             registry (stage timings, memo hit rates,
-//	                             queue/pool gauges)
+//	                             queue/pool/fleet gauges)
 //
 // Submissions beyond -queue-depth are rejected immediately with 429 —
 // backpressure is applied at admission, never by queueing unbounded work.
 // All jobs share one hazard-free-minimization memo cache and divide the
-// -j worker budget across -concurrency runners. On SIGINT/SIGTERM the
-// daemon stops admitting, finishes queued and running jobs (bounded by
-// -drain-timeout, then force-cancels), and exits.
+// -j worker budget across -concurrency runners. Identical concurrent
+// submissions collapse onto one job (request-level dedup; -no-dedup
+// restores a run per request). On SIGINT/SIGTERM the daemon stops
+// admitting, finishes queued and running jobs (bounded by -drain-timeout,
+// then force-cancels), and exits.
+//
+// # Fleet mode
+//
+// -peers lists the other nodes' base URLs; every node runs with the same
+// set (plus its own, via -self or inferred from the bound listener).
+// Submissions are then routed by content hash on a consistent ring so
+// identical documents meet at one owner, polls for a foreign job ID are
+// proxied to its node, and each node's memo cache pulls solved records
+// from its peers before recomputing. Peers are health-checked every
+// -health-interval; a dead owner degrades submissions to local execution.
 //
 // The daemon prints "listening on http://ADDR" on stdout once the socket
 // is bound; with -addr 127.0.0.1:0 the kernel picks a free port and
@@ -45,9 +65,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/logic"
 	"repro/internal/memo"
 	"repro/internal/obs"
@@ -64,7 +86,14 @@ var (
 	drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for in-flight jobs before force-cancelling")
 	cacheDir     = flag.String("cache-dir", "", "persist hazard-free minimization results under this directory")
 	noCache      = flag.Bool("no-cache", false, "disable the shared minimization memo cache")
+	noDedup      = flag.Bool("no-dedup", false, "disable request-level dedup of identical submissions")
 	solverName   = flag.String("solver", "bb", "covering backend for exact hazard-free minimization: bb, pb, portfolio or greedy")
+
+	selfURL        = flag.String("self", "", "advertised base URL of this node (default http://<bound addr>)")
+	peerList       = flag.String("peers", "", "comma-separated base URLs of the other fleet nodes")
+	cachePeerList  = flag.String("cache-peers", "", "additional cache-only peer URLs consulted for remote fills but never given jobs")
+	cacheTimeout   = flag.Duration("cache-timeout", memo.DefaultRemoteTimeout, "deadline for one remote cache lookup across the peers")
+	healthInterval = flag.Duration("health-interval", time.Second, "interval between peer health probes")
 )
 
 func main() { os.Exit(run()) }
@@ -81,9 +110,24 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
+	splitURLs := func(list string) []string {
+		var out []string
+		for _, u := range strings.Split(list, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				out = append(out, u)
+			}
+		}
+		return out
+	}
+	peerURLs := splitURLs(*peerList)
+	cachePeerURLs := splitURLs(*cachePeerList)
 
-	// The metrics registry is always on — /metrics is part of the API.
+	// The metrics registry is always on — /metrics is part of the API —
+	// and so is the span tracer, which feeds the per-job event streams.
 	obs.SetMetrics(obs.NewMetrics())
+	tracer := obs.New(0)
+	tracer.Enable()
+	obs.SetTracer(tracer)
 
 	solver, err := logic.ParseSolver(*solverName)
 	if err != nil {
@@ -91,32 +135,64 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
+
+	// Bind before building the fleet identity: with -addr :0 the node's
+	// ID and inferred -self must name the port the kernel actually chose.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asyncsynthd:", err)
+		return 1
+	}
+	self := *selfURL
+	if self == "" {
+		self = "http://" + ln.Addr().String()
+	}
+
+	var peers *fleet.Peers
+	if len(peerURLs) > 0 {
+		peers = fleet.NewPeers(peerURLs, fleet.PeerOptions{Interval: *healthInterval})
+		peers.Start()
+		defer peers.Close()
+	}
+
 	var minimizer synth.Minimizer
+	var cache *memo.Cache
 	if !*noCache {
-		cache, err := memo.NewSolver(*cacheDir, solver)
+		cache, err = memo.NewSolver(*cacheDir, solver)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "asyncsynthd:", err)
 			return 1
 		}
+		if fillPeers := append(append([]string{}, peerURLs...), cachePeerURLs...); len(fillPeers) > 0 {
+			cache.SetRemote(fleet.NewCacheClient(fillPeers, peers, fleet.CacheClientOptions{}), *cacheTimeout)
+		}
 		minimizer = cache
 	}
-	mgr := service.New(service.Config{
+
+	cfg := service.Config{
 		QueueDepth:  *queueDepth,
 		Concurrency: *concurrency,
 		Parallelism: *jWorkers,
 		JobTimeout:  *jobTimeout,
 		Minimizer:   minimizer,
 		Solver:      solver,
+		Dedup:       !*noDedup,
+	}
+	if len(peerURLs) > 0 {
+		// Fleet job IDs carry the node so peers can route polls.
+		cfg.NodeID = ln.Addr().String()
+	}
+	mgr := service.New(cfg)
+	handler := mgr.FleetHandler(service.FleetConfig{
+		Self:  self,
+		Nodes: append([]string{self}, peerURLs...),
+		Peers: peers,
+		Cache: cache,
 	})
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "asyncsynthd:", err)
-		return 1
-	}
 	fmt.Printf("listening on http://%s\n", ln.Addr())
 
-	srv := &http.Server{Handler: mgr.Handler()}
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

@@ -10,6 +10,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -57,19 +58,40 @@ func TestServerSmoke(t *testing.T) {
 	}
 	defer srv.Process.Kill()
 
+	// Everything the daemon prints is captured and replayed on failure, so
+	// a broken run is diagnosable from the test log alone.
+	var logMu sync.Mutex
+	var daemonLog bytes.Buffer
+	t.Cleanup(func() {
+		if t.Failed() {
+			logMu.Lock()
+			defer logMu.Unlock()
+			t.Logf("daemon output:\n%s", daemonLog.String())
+		}
+	})
+
 	// The daemon announces its bound address on the first stdout line.
 	sc := bufio.NewScanner(stdout)
 	base := ""
 	for sc.Scan() {
+		logMu.Lock()
+		daemonLog.WriteString(sc.Text() + "\n")
+		logMu.Unlock()
 		if rest, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
 			base = rest
 			break
 		}
 	}
 	if base == "" {
-		t.Fatalf("daemon never announced its address: %v", sc.Err())
+		t.Fatalf("daemon never announced its address: %v\noutput:\n%s", sc.Err(), daemonLog.String())
 	}
-	go io.Copy(io.Discard, stdout) // keep the pipe drained
+	go func() { // keep the pipe drained, into the captured log
+		for sc.Scan() {
+			logMu.Lock()
+			daemonLog.WriteString(sc.Text() + "\n")
+			logMu.Unlock()
+		}
+	}()
 
 	// runJob submits a body under contentType, polls it to completion and
 	// returns the raw served synthesis document.

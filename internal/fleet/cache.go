@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// maxCacheEntryBytes bounds one remote cache record. Minimization records
+// are a few KiB; 1 MiB leaves generous headroom while keeping a
+// misbehaving peer from ballooning memory.
+const maxCacheEntryBytes = 1 << 20
+
+// CacheClient is the peer-to-peer pull backend of the shared
+// minimization-cache tier: it satisfies memo.Remote by asking each
+// healthy peer's GET /v1/cache/{key} in turn until one returns the
+// record. Store is a no-op — the tier is pull-based (a node that misses
+// fetches from whoever solved it), so there is nothing to push; a
+// blob-store backend would implement Store instead.
+//
+// Any payload a peer returns is strictly re-validated by the memo layer
+// before use, so a slow, corrupt or even malicious peer can cost a
+// recompute but never change a result.
+type CacheClient struct {
+	peers   *Peers
+	urls    []string
+	client  *http.Client
+	timeout time.Duration
+}
+
+// CacheClientOptions configures a CacheClient; the zero value selects
+// the documented defaults.
+type CacheClientOptions struct {
+	// PerPeerTimeout bounds each individual peer request. Default 250ms.
+	PerPeerTimeout time.Duration
+	// Client is the HTTP client used for fetches. Default: a dedicated
+	// client (per-request deadlines come from contexts).
+	Client *http.Client
+}
+
+// NewCacheClient returns a pull client over the given peer base URLs
+// (the caller excludes its own URL). peers, when non-nil, provides the
+// liveness view used to skip dead nodes; a nil peers consults every URL.
+func NewCacheClient(urls []string, peers *Peers, opt CacheClientOptions) *CacheClient {
+	if opt.PerPeerTimeout <= 0 {
+		opt.PerPeerTimeout = 250 * time.Millisecond
+	}
+	if opt.Client == nil {
+		opt.Client = &http.Client{}
+	}
+	c := &CacheClient{peers: peers, client: opt.Client, timeout: opt.PerPeerTimeout}
+	for _, u := range urls {
+		if u != "" {
+			c.urls = append(c.urls, u)
+		}
+	}
+	return c
+}
+
+// Fetch asks each healthy peer for the record in list order and returns
+// the first 200 body. A fleet-wide miss returns (nil, nil); an error is
+// returned only when ctx ended before the peers were exhausted.
+func (c *CacheClient) Fetch(ctx context.Context, key string) ([]byte, error) {
+	for _, u := range c.urls {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if c.peers != nil && !c.peers.Healthy(u) {
+			continue
+		}
+		data, err := c.fetchOne(ctx, u, key)
+		if err != nil || data == nil {
+			continue // try the next peer; the memo layer counts outcomes
+		}
+		return data, nil
+	}
+	return nil, ctx.Err()
+}
+
+// fetchOne performs one peer request under the per-peer timeout.
+func (c *CacheClient) fetchOne(ctx context.Context, peer, key string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/cache/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: cache fetch from %s: status %d", peer, resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxCacheEntryBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > maxCacheEntryBytes {
+		return nil, errors.New("fleet: cache entry exceeds size limit")
+	}
+	return data, nil
+}
+
+// Store is a no-op: the peer-to-peer tier fills by pulling.
+func (c *CacheClient) Store(context.Context, string, []byte) error { return nil }

@@ -1,0 +1,200 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1 := NewRing(nodes, 0)
+	r2 := NewRing([]string{nodes[2], nodes[0], nodes[1], nodes[0]}, 0) // order + dup irrelevant
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		o1, o2 := r1.Owner(key), r2.Owner(key)
+		if o1 != o2 {
+			t.Fatalf("ownership depends on construction order: %q vs %q", o1, o2)
+		}
+		counts[o1]++
+	}
+	for node, c := range counts {
+		if c < n/6 || c > n/2+n/6 {
+			t.Errorf("unbalanced ring: %s owns %d/%d keys", node, c, n)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d nodes own keys", len(counts))
+	}
+}
+
+func TestRingStabilityUnderNodeLoss(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(nodes, 0)
+	dead := "http://b:1"
+	alive := func(n string) bool { return n != dead }
+	moved, kept := 0, 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := r.Owner(key)
+		after := r.OwnerAlive(key, alive)
+		if after == dead {
+			t.Fatalf("dead node still owns %q", key)
+		}
+		if before == dead {
+			moved++
+		} else if before != after {
+			t.Fatalf("key %q moved from healthy node %q to %q", key, before, after)
+		} else {
+			kept++
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate split: moved=%d kept=%d", moved, kept)
+	}
+	if r.OwnerAlive("k", func(string) bool { return false }) != "" {
+		t.Fatal("all-dead ring did not report no owner")
+	}
+	if NewRing(nil, 0).Owner("k") != "" {
+		t.Fatal("empty ring did not report no owner")
+	}
+}
+
+func TestPeersHealthTransitions(t *testing.T) {
+	var up atomic.Bool
+	up.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		if !up.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	}))
+	defer srv.Close()
+
+	p := NewPeers([]string{srv.URL, "http://127.0.0.1:1"}, PeerOptions{Interval: time.Hour, Timeout: 200 * time.Millisecond})
+	p.Start()
+	defer p.Close()
+
+	// Presumed healthy before any probe.
+	if !p.Healthy(srv.URL) || !p.Healthy("http://127.0.0.1:1") {
+		t.Fatal("peers not presumed healthy at start")
+	}
+	// A probe of the unreachable peer marks it down; the live one stays up.
+	if p.CheckNow(context.Background(), "http://127.0.0.1:1") {
+		t.Fatal("unreachable peer probed healthy")
+	}
+	if p.Healthy("http://127.0.0.1:1") {
+		t.Fatal("unreachable peer still viewed healthy after failed probe")
+	}
+	if !p.CheckNow(context.Background(), srv.URL) || !p.Healthy(srv.URL) {
+		t.Fatal("live peer probed unhealthy")
+	}
+
+	// 503 (draining) counts as down; recovery on the next good probe.
+	up.Store(false)
+	if p.CheckNow(context.Background(), srv.URL) {
+		t.Fatal("draining peer probed healthy")
+	}
+	up.Store(true)
+	if !p.CheckNow(context.Background(), srv.URL) {
+		t.Fatal("recovered peer probed unhealthy")
+	}
+
+	// MarkDown is out-of-band evidence; a good probe restores.
+	p.MarkDown(srv.URL)
+	if p.Healthy(srv.URL) {
+		t.Fatal("MarkDown had no effect")
+	}
+	p.CheckNow(context.Background(), srv.URL)
+	if !p.Healthy(srv.URL) {
+		t.Fatal("probe did not restore marked-down peer")
+	}
+
+	// Unknown URLs are never vetoed; probing them records nothing.
+	if !p.Healthy("http://unknown:9") {
+		t.Fatal("unknown peer vetoed")
+	}
+	if p.CheckNow(context.Background(), "http://unknown:9") {
+		t.Fatal("untracked probe reported healthy")
+	}
+}
+
+func TestBackoffRetriesThenGivesUp(t *testing.T) {
+	calls := 0
+	err := Backoff{Attempts: 3, Base: time.Millisecond}.Do(context.Background(), func() error {
+		calls++
+		return errors.New("boom")
+	})
+	if calls != 3 || err == nil || err.Error() != "boom" {
+		t.Fatalf("calls=%d err=%v, want 3 attempts ending in boom", calls, err)
+	}
+
+	calls = 0
+	err = Backoff{Attempts: 5, Base: time.Millisecond}.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("calls=%d err=%v, want success on third try", calls, err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = Backoff{Attempts: 3, Base: time.Minute}.Do(ctx, func() error { return errors.New("x") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled backoff returned %v", err)
+	}
+}
+
+func TestCacheClientFetchFallsThroughPeers(t *testing.T) {
+	const key = "00ff"
+	missing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	defer missing.Close()
+	holding := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/cache/"+key {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(`{"payload":true}`))
+	}))
+	defer holding.Close()
+
+	c := NewCacheClient([]string{"http://127.0.0.1:1", missing.URL, holding.URL}, nil, CacheClientOptions{PerPeerTimeout: 300 * time.Millisecond})
+	data, err := c.Fetch(context.Background(), key)
+	if err != nil || string(data) != `{"payload":true}` {
+		t.Fatalf("Fetch = %q, %v; want the held payload", data, err)
+	}
+	// Fleet-wide miss is a clean (nil, nil).
+	data, err = c.Fetch(context.Background(), "beef")
+	if err != nil || data != nil {
+		t.Fatalf("fleet-wide miss = %q, %v; want nil, nil", data, err)
+	}
+	// Unhealthy peers are skipped entirely.
+	p := NewPeers([]string{holding.URL}, PeerOptions{Interval: time.Hour})
+	p.MarkDown(holding.URL)
+	cSkip := NewCacheClient([]string{holding.URL}, p, CacheClientOptions{})
+	if data, err := cSkip.Fetch(context.Background(), key); err != nil || data != nil {
+		t.Fatalf("fetch via downed peer = %q, %v; want skip to miss", data, err)
+	}
+	// Store is the pull-model no-op.
+	if err := c.Store(context.Background(), key, []byte("x")); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+}

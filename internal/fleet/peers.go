@@ -1,0 +1,272 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Peers tracks the liveness of the other nodes in a fleet. Each peer is
+// probed with GET <url>/healthz on a fixed interval; a failed probe (or
+// an explicit MarkDown from a caller whose forward just failed) marks the
+// peer down until the next successful probe. Nodes start out presumed
+// healthy so a freshly-booted fleet routes correctly before the first
+// probe completes.
+//
+// Transitions are published as obs counters fleet/peer_up and
+// fleet/peer_down, and the current view as the gauge fleet/peers_healthy.
+type Peers struct {
+	client   *http.Client
+	interval time.Duration
+	timeout  time.Duration
+
+	mu      sync.Mutex
+	state   map[string]*peerState
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	started atomic.Bool
+}
+
+type peerState struct {
+	healthy  bool
+	lastErr  error
+	failures int // consecutive probe failures
+}
+
+// PeerOptions configures a Peers set; the zero value selects the
+// documented defaults.
+type PeerOptions struct {
+	// Interval between health probes of each peer. Default 1s.
+	Interval time.Duration
+	// Timeout of one health probe. Default 500ms.
+	Timeout time.Duration
+	// Client is the HTTP client used for probes. Default: a dedicated
+	// client with Timeout as its overall deadline.
+	Client *http.Client
+}
+
+// NewPeers returns a health tracker over the given peer base URLs (the
+// caller excludes its own URL). Probing starts when Start is called;
+// until then — and before each peer's first probe lands — every peer is
+// presumed healthy.
+func NewPeers(urls []string, opt PeerOptions) *Peers {
+	if opt.Interval <= 0 {
+		opt.Interval = time.Second
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 500 * time.Millisecond
+	}
+	if opt.Client == nil {
+		opt.Client = &http.Client{Timeout: opt.Timeout}
+	}
+	p := &Peers{
+		client:   opt.Client,
+		interval: opt.Interval,
+		timeout:  opt.Timeout,
+		state:    map[string]*peerState{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, u := range urls {
+		if u == "" {
+			continue
+		}
+		if _, ok := p.state[u]; !ok {
+			p.state[u] = &peerState{healthy: true}
+		}
+	}
+	return p
+}
+
+// URLs returns the tracked peer URLs (unordered).
+func (p *Peers) URLs() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.state))
+	for u := range p.state {
+		out = append(out, u)
+	}
+	return out
+}
+
+// Healthy reports the current liveness view of url. Unknown URLs are
+// reported healthy: the tracker only ever vetoes peers it has evidence
+// against, so routing over a superset of the tracked fleet still works.
+func (p *Peers) Healthy(url string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.state[url]
+	return !ok || st.healthy
+}
+
+// MarkDown records out-of-band evidence that url is unreachable (a
+// failed forward); the peer is down until a probe succeeds again.
+func (p *Peers) MarkDown(url string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.state[url]; ok && st.healthy {
+		st.healthy = false
+		obs.Add("fleet/peer_down", 1)
+		p.publishLocked()
+	}
+}
+
+// CheckNow probes url synchronously and returns the updated liveness.
+// Probing an untracked URL reports false without recording anything.
+func (p *Peers) CheckNow(ctx context.Context, url string) bool {
+	p.mu.Lock()
+	_, ok := p.state[url]
+	p.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return p.probe(ctx, url)
+}
+
+// Start launches the background probe loop. Idempotent; Close stops it.
+// A Peers that is never started still works as a passive view (presumed
+// healthy until MarkDown).
+func (p *Peers) Start() {
+	if p.started.CompareAndSwap(false, true) {
+		go p.loop()
+	}
+}
+
+// Close stops the probe loop. Idempotent; safe whether or not Start ran.
+func (p *Peers) Close() {
+	p.once.Do(func() { close(p.stop) })
+	if p.started.Load() {
+		<-p.done
+	}
+}
+
+func (p *Peers) loop() {
+	defer close(p.done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			for _, u := range p.URLs() {
+				select {
+				case <-p.stop:
+					return
+				default:
+				}
+				p.probe(context.Background(), u)
+			}
+		}
+	}
+}
+
+// probe performs one health check and folds the outcome into the view.
+func (p *Peers) probe(ctx context.Context, url string) bool {
+	ctx, cancel := context.WithTimeout(ctx, p.timeout)
+	defer cancel()
+	obs.Add("fleet/health_checks", 1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	up := false
+	if err == nil {
+		resp, rerr := p.client.Do(req)
+		if rerr == nil {
+			resp.Body.Close()
+			up = resp.StatusCode == http.StatusOK
+		} else {
+			err = rerr
+		}
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.state[url]
+	if !ok {
+		return up
+	}
+	st.lastErr = err
+	if up {
+		st.failures = 0
+		if !st.healthy {
+			st.healthy = true
+			obs.Add("fleet/peer_up", 1)
+			p.publishLocked()
+		}
+	} else {
+		st.failures++
+		if st.healthy {
+			st.healthy = false
+			obs.Add("fleet/peer_down", 1)
+			p.publishLocked()
+		}
+	}
+	return up
+}
+
+// publishLocked refreshes the fleet/peers_healthy gauge; p.mu held.
+func (p *Peers) publishLocked() {
+	n := int64(0)
+	for _, st := range p.state {
+		if st.healthy {
+			n++
+		}
+	}
+	obs.Set("fleet/peers_healthy", n)
+}
+
+// Backoff is a bounded exponential retry policy for forwarded requests.
+type Backoff struct {
+	// Attempts is the total number of tries (default 3).
+	Attempts int
+	// Base is the delay before the second try; each further delay
+	// doubles, capped at Max. Default 50ms.
+	Base time.Duration
+	// Max caps the delay between tries. Default 1s.
+	Max time.Duration
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Attempts <= 0 {
+		b.Attempts = 3
+	}
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = time.Second
+	}
+	return b
+}
+
+// Do calls fn until it succeeds, the attempts are exhausted, or ctx
+// ends; it returns nil on success, ctx.Err() on cancellation, and
+// otherwise the last error from fn.
+func (b Backoff) Do(ctx context.Context, fn func() error) error {
+	b = b.withDefaults()
+	var err error
+	delay := b.Base
+	for i := 0; i < b.Attempts; i++ {
+		if i > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			if delay *= 2; delay > b.Max {
+				delay = b.Max
+			}
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return err
+}

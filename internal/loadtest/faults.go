@@ -1,0 +1,73 @@
+package loadtest
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// ByzantineMode selects how a fault-injection cache peer misbehaves.
+type ByzantineMode string
+
+// Fault modes for StartByzantineCache.
+const (
+	// Corrupt answers every cache lookup 200 with garbage bytes — the
+	// memo layer must reject them and recompute.
+	Corrupt ByzantineMode = "corrupt"
+	// Slow stalls every third cache lookup well past the client's
+	// per-peer timeout before answering (and fast-misses the rest) — the
+	// stalled lookups must be abandoned without stalling the solve.
+	Slow ByzantineMode = "slow"
+)
+
+// ByzantineCache is a misbehaving cache-only peer for fault injection:
+// point a node's -cache-peers at URL and every remote fill consults it.
+// It reports healthy on /healthz so health checking never saves the
+// client from it — the memo layer's validation and timeouts must.
+type ByzantineCache struct {
+	URL  string
+	mode ByzantineMode
+	srv  *http.Server
+	hits atomic.Int64
+}
+
+// StartByzantineCache serves the fault peer on a loopback port.
+func StartByzantineCache(mode ByzantineMode) (*ByzantineCache, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	b := &ByzantineCache{URL: "http://" + ln.Addr().String(), mode: mode}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		n := b.hits.Add(1)
+		switch mode {
+		case Slow:
+			if n%3 == 0 {
+				select {
+				case <-time.After(5 * time.Second):
+				case <-r.Context().Done():
+					return
+				}
+			}
+			http.NotFound(w, r)
+		default: // Corrupt
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"salt":"not-a-memo-record","cover":"garbage`))
+		}
+	})
+	b.srv = &http.Server{Handler: mux}
+	go b.srv.Serve(ln)
+	return b, nil
+}
+
+// Requests returns how many cache lookups reached the fault peer.
+func (b *ByzantineCache) Requests() int64 { return b.hits.Load() }
+
+// Close shuts the fault peer down.
+func (b *ByzantineCache) Close() { b.srv.Close() }

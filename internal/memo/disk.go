@@ -19,6 +19,11 @@ import (
 // malformed JSON, out-of-range masks, arity mismatches — and any defect
 // demotes the lookup to a miss; the disk cache can cost a recompute but
 // never an incorrect result.
+//
+// The same record format is the wire format of the Remote tier (see
+// remote.go): encodeRecord/decodeRecord below are shared by the disk
+// layer, the peer-to-peer cache-fill protocol and Cache.Export, so every
+// consumer applies the same strict validation.
 
 type cubeRec struct {
 	Z uint64 `json:"z"`
@@ -56,16 +61,12 @@ func (c *Cache) path(key [sha256.Size]byte) string {
 	return filepath.Join(c.dir, hex.EncodeToString(key[:])+".json")
 }
 
-// storeDisk persists a solved problem; failures are ignored (the cache is
-// an accelerator, not a store of record). Only clean results and
-// infeasibility verdicts are persisted — other errors indicate malformed
-// specs and are not worth a file.
-func (c *Cache) storeDisk(key [sha256.Size]byte, res hfmin.Result, err error) {
-	if c.dir == "" {
-		return
-	}
+// encodeRecord serializes a solved problem into the shared record format.
+// Only clean results and infeasibility verdicts encode — other errors
+// indicate malformed specs and are not worth a record (ok is false).
+func encodeRecord(res hfmin.Result, err error) (data []byte, ok bool) {
 	if err != nil && !errors.Is(err, hfmin.ErrInfeasible) {
-		return
+		return nil, false
 	}
 	// Analyze populates the care sets before minimize can fail, so the
 	// arity lives on OnSet even when Cover was never built (infeasible
@@ -89,6 +90,37 @@ func (c *Cache) storeDisk(key [sha256.Size]byte, res hfmin.Result, err error) {
 	}
 	data, merr := json.Marshal(rec)
 	if merr != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// decodeRecord strictly validates and decodes a record in the shared
+// format. ok is false on any defect — malformed JSON, a foreign salt,
+// out-of-range masks — never an error result: a bad record is a miss.
+func decodeRecord(data []byte) (res hfmin.Result, resErr error, ok bool) {
+	var rec fileRec
+	if json.Unmarshal(data, &rec) != nil || rec.Salt != Salt {
+		return hfmin.Result{}, nil, false
+	}
+	res, derr := decodeResult(rec)
+	if derr != nil {
+		return hfmin.Result{}, nil, false
+	}
+	if rec.Infeasible {
+		return res, &infeasibleErr{msg: rec.Err}, true
+	}
+	return res, nil, true
+}
+
+// storeDisk persists a solved problem; failures are ignored (the cache is
+// an accelerator, not a store of record).
+func (c *Cache) storeDisk(key [sha256.Size]byte, res hfmin.Result, err error) {
+	if c.dir == "" {
+		return
+	}
+	data, ok := encodeRecord(res, err)
+	if !ok {
 		return
 	}
 	// Write-then-rename keeps concurrent runs sharing a directory from
@@ -121,18 +153,7 @@ func (c *Cache) loadDisk(key [sha256.Size]byte) (hfmin.Result, error, bool) {
 	if err != nil {
 		return hfmin.Result{}, nil, false
 	}
-	var rec fileRec
-	if json.Unmarshal(data, &rec) != nil || rec.Salt != Salt {
-		return hfmin.Result{}, nil, false
-	}
-	res, derr := decodeResult(rec)
-	if derr != nil {
-		return hfmin.Result{}, nil, false
-	}
-	if rec.Infeasible {
-		return res, &infeasibleErr{msg: rec.Err}, true
-	}
-	return res, nil, true
+	return decodeRecord(data)
 }
 
 func decodeResult(rec fileRec) (hfmin.Result, error) {

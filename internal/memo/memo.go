@@ -39,10 +39,22 @@
 // persisted too: the strict rungs of the encoding ladder rediscover them
 // constantly.
 //
+// # Remote tier
+//
+// SetRemote attaches a pluggable fleet-shared tier (the Remote interface)
+// behind memory and disk: a lookup that misses both consults the remote —
+// bounded by a timeout so a slow or dead remote degrades to local compute —
+// and freshly-solved results are offered back. Payloads use the same
+// strictly-validated record format as the disk layer, so a corrupt or
+// byzantine remote costs at most a recompute. asyncsynthd wires
+// fleet.CacheClient here, making every node's hfmin solve warm the whole
+// fleet.
+//
 // # Observability
 //
 // Each lookup outcome is published to the global obs registry — memo/hits,
-// memo/misses, memo/dedup-waits and memo/disk-hits — and mirrored in
+// memo/misses, memo/dedup-waits, memo/disk-hits and the memo/remote/*
+// family (hits, misses, errors, corrupt, stores) — and mirrored in
 // Stats() for programmatic use. Because hfmin.Analyze canonicalizes
 // internally, a cache hit is bit-identical to what the miss path would have
 // computed; the memoized and unmemoized pipelines are asserted equal by
@@ -58,6 +70,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/hfmin"
 	"repro/internal/logic"
@@ -77,24 +90,32 @@ const numShards = 16
 
 // Stats is a snapshot of the cache's lookup counters.
 type Stats struct {
-	Hits       int64 // served from the in-memory map
-	Misses     int64 // computed (not found in memory or on disk)
-	DedupWaits int64 // blocked on another goroutine computing the same key
-	DiskHits   int64 // loaded from the persistent cache directory
+	Hits          int64 // served from the in-memory map
+	Misses        int64 // computed (not found in memory, on disk or remotely)
+	DedupWaits    int64 // blocked on another goroutine computing the same key
+	DiskHits      int64 // loaded from the persistent cache directory
+	RemoteHits    int64 // filled from the remote tier
+	RemoteErrors  int64 // remote fetches that failed or timed out
+	RemoteCorrupt int64 // remote payloads rejected by validation
 }
 
 // Cache memoizes hfmin.Minimize and hfmin.MinimizeHeuristic. The zero value
 // is not usable; call New. A nil *Cache is a valid pass-through that
 // memoizes nothing.
 type Cache struct {
-	dir    string       // persistent cache directory; empty = in-memory only
-	solver logic.Solver // covering backend for exact minimizations
-	shards [numShards]shard
+	dir           string       // persistent cache directory; empty = in-memory only
+	solver        logic.Solver // covering backend for exact minimizations
+	remote        Remote       // fleet-shared tier; nil = disabled
+	remoteTimeout time.Duration
+	shards        [numShards]shard
 
-	hits       atomic.Int64
-	misses     atomic.Int64
-	dedupWaits atomic.Int64
-	diskHits   atomic.Int64
+	hits          atomic.Int64
+	misses        atomic.Int64
+	dedupWaits    atomic.Int64
+	diskHits      atomic.Int64
+	remoteHits    atomic.Int64
+	remoteErrors  atomic.Int64
+	remoteCorrupt atomic.Int64
 }
 
 type shard struct {
@@ -145,10 +166,13 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:       c.hits.Load(),
-		Misses:     c.misses.Load(),
-		DedupWaits: c.dedupWaits.Load(),
-		DiskHits:   c.diskHits.Load(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		DedupWaits:    c.dedupWaits.Load(),
+		DiskHits:      c.diskHits.Load(),
+		RemoteHits:    c.remoteHits.Load(),
+		RemoteErrors:  c.remoteErrors.Load(),
+		RemoteCorrupt: c.remoteCorrupt.Load(),
 	}
 }
 
@@ -277,6 +301,17 @@ func (c *Cache) get(ctx context.Context, spec hfmin.Spec, solver logic.Solver, s
 			return e.res, e.err
 		}
 
+		// Memory and disk missed; ask the fleet before solving. A hit is
+		// persisted locally too, so a node restart keeps it, and a slow,
+		// dead or corrupt remote falls through to compute (remote.go).
+		if res, err, ok := c.loadRemote(ctx, key); ok {
+			e.res, e.err = res, err
+			completed = true
+			close(e.done)
+			c.storeDisk(key, e.res, e.err)
+			return e.res, e.err
+		}
+
 		c.misses.Add(1)
 		obs.Add("memo/misses", 1)
 		res, err := solve(ctx, spec)
@@ -288,6 +323,7 @@ func (c *Cache) get(ctx context.Context, spec hfmin.Spec, solver logic.Solver, s
 		e.res, e.err = res, err
 		close(e.done)
 		c.storeDisk(key, e.res, e.err)
+		c.storeRemote(key, e.res, e.err)
 		return e.res, e.err
 	}
 }

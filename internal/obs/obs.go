@@ -93,6 +93,10 @@ type Tracer struct {
 	total   uint64 // events ever recorded
 	sink    io.Writer
 	sinkErr error
+
+	watchMu   sync.Mutex
+	watchers  map[uint64]func(SpanEvent)
+	nextWatch uint64
 }
 
 // New returns a Tracer whose ring buffer holds the last `capacity`
@@ -158,7 +162,6 @@ func (t *Tracer) record(s Span, end time.Time, err error) {
 		ev.Err = err.Error()
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if len(t.buf) < t.cap {
 		t.buf = append(t.buf, ev)
 	} else {
@@ -170,11 +173,51 @@ func (t *Tracer) record(s Span, end time.Time, err error) {
 		line, jerr := json.Marshal(ev)
 		if jerr != nil {
 			t.sinkErr = jerr
-			return
-		}
-		if _, werr := t.sink.Write(append(line, '\n')); werr != nil {
+		} else if _, werr := t.sink.Write(append(line, '\n')); werr != nil {
 			t.sinkErr = werr
 		}
+	}
+	t.mu.Unlock()
+	t.notifyWatchers(ev)
+}
+
+// Watch registers fn to be called with every span completed while the
+// watcher is installed, after the span lands in the ring buffer. The
+// returned cancel func removes the watcher; it is safe to call more than
+// once. fn runs on the goroutine ending the span and must not block —
+// the service layer uses this to stream job progress over SSE, feeding a
+// bounded per-job buffer.
+func (t *Tracer) Watch(fn func(SpanEvent)) (cancel func()) {
+	t.watchMu.Lock()
+	if t.watchers == nil {
+		t.watchers = map[uint64]func(SpanEvent){}
+	}
+	t.nextWatch++
+	id := t.nextWatch
+	t.watchers[id] = fn
+	t.watchMu.Unlock()
+	return func() {
+		t.watchMu.Lock()
+		delete(t.watchers, id)
+		t.watchMu.Unlock()
+	}
+}
+
+// notifyWatchers fans a completed span out to the registered watchers,
+// outside the ring-buffer lock so a watcher may inspect the tracer.
+func (t *Tracer) notifyWatchers(ev SpanEvent) {
+	t.watchMu.Lock()
+	if len(t.watchers) == 0 {
+		t.watchMu.Unlock()
+		return
+	}
+	fns := make([]func(SpanEvent), 0, len(t.watchers))
+	for _, fn := range t.watchers {
+		fns = append(fns, fn)
+	}
+	t.watchMu.Unlock()
+	for _, fn := range fns {
+		fn(ev)
 	}
 }
 

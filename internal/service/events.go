@@ -1,0 +1,247 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Job progress is observable as an ordered event stream: every lifecycle
+// transition appends a "state" event, and — while the job runs with a
+// global obs tracer enabled — every completed pipeline span appends a
+// "span" event, so a client watches GT passes, per-controller LT work and
+// hfmin solves land in real time. GET /v1/jobs/{id}/events serves the
+// stream as Server-Sent Events by default and as JSON batches in
+// long-poll mode (?poll=1).
+//
+// Spans are recorded process-wide: when several jobs run concurrently a
+// job's stream includes its neighbours' spans too (spans carry no job
+// identity). The stream is a progress feed, not an attribution record;
+// state events are always exact.
+
+// Event is one entry in a job's progress stream.
+type Event struct {
+	// Seq numbers events per job, starting at 1 and strictly increasing;
+	// clients resume with ?since=<last seen seq>.
+	Seq uint64 `json:"seq"`
+	// Type is "state" for lifecycle transitions, "span" for completed
+	// pipeline spans.
+	Type string `json:"type"`
+	// State is the lifecycle state entered (state events only).
+	State string `json:"state,omitempty"`
+	// Error is the terminal error (failed/cancelled state events only).
+	Error string `json:"error,omitempty"`
+	// Span is the completed pipeline span (span events only).
+	Span *obs.SpanEvent `json:"span,omitempty"`
+}
+
+// eventLogCap bounds a job's buffered history; the oldest events are
+// dropped first. Late subscribers of a span-heavy job may miss early
+// spans — state events are few and practically always retained.
+const eventLogCap = 1024
+
+// eventLog is an append-only, bounded per-job event buffer with
+// broadcast: since returns everything after a sequence number plus a
+// channel that closes on the next append.
+type eventLog struct {
+	mu     sync.Mutex
+	buf    []Event
+	first  uint64 // seq of buf[0]
+	next   uint64 // seq the next append gets
+	notify chan struct{}
+	done   bool
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{next: 1, first: 1, notify: make(chan struct{})}
+}
+
+// append assigns the event its sequence number and wakes subscribers.
+// Events after the terminal one are dropped: the stream is closed.
+func (l *eventLog) append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return
+	}
+	e.Seq = l.next
+	l.next++
+	if len(l.buf) == eventLogCap {
+		copy(l.buf, l.buf[1:])
+		l.buf = l.buf[:eventLogCap-1]
+		l.first++
+	}
+	l.buf = append(l.buf, e)
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// closeLog marks the stream complete (terminal state appended); waiters
+// are woken one last time.
+func (l *eventLog) closeLog() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return
+	}
+	l.done = true
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// since returns the buffered events with Seq > seq, a channel closed on
+// the next append, and whether the stream is complete.
+func (l *eventLog) since(seq uint64) ([]Event, <-chan struct{}, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	if seq+1 < l.first {
+		seq = l.first - 1 // dropped history: resume at the oldest retained
+	}
+	if idx := int(seq + 1 - l.first); idx < len(l.buf) {
+		out = append(out, l.buf[idx:]...)
+	}
+	return out, l.notify, l.done
+}
+
+// Events returns the job's buffered progress events after seq (0 for
+// all), and whether the stream is complete. For polling clients; HTTP
+// streaming uses the events endpoint.
+func (j *Job) Events(seq uint64) ([]Event, bool) {
+	evs, _, done := j.events.since(seq)
+	return evs, done
+}
+
+// pushState appends a lifecycle event mirroring the given state.
+func (j *Job) pushState(state State, err error) {
+	e := Event{Type: "state", State: state.String()}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	j.events.append(e)
+	if state.Terminal() {
+		j.events.closeLog()
+	}
+}
+
+// maxEventWait bounds one long-poll and paces SSE heartbeats.
+const maxEventWait = 30 * time.Second
+
+// handleEvents serves GET /v1/jobs/{id}/events. Default is an SSE stream
+// (Content-Type text/event-stream, one "state"/"span" event per message,
+// comment heartbeats while idle) that ends when the job's stream closes.
+// With ?poll=1 it is a long-poll instead: the response is a JSON batch
+// {"events": [...], "next": N, "done": bool} of events after ?since=N,
+// waiting up to ?wait=D (default and cap 30s) for the first one.
+func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, err := m.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	var since uint64
+	if s := r.URL.Query().Get("since"); s != "" {
+		since, err = strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "malformed since: "+err.Error())
+			return
+		}
+	}
+	if r.URL.Query().Get("poll") != "" {
+		m.longPoll(w, r, job, since)
+		return
+	}
+	m.streamSSE(w, r, job, since)
+}
+
+func (m *Manager) streamSSE(w http.ResponseWriter, r *http.Request, job *Job, since uint64) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for {
+		evs, notify, done := job.events.since(since)
+		for _, e := range evs {
+			data, jerr := json.Marshal(e)
+			if jerr != nil {
+				return
+			}
+			// The SSE id carries the seq so EventSource reconnects resume.
+			if _, werr := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data); werr != nil {
+				return
+			}
+			since = e.Seq
+		}
+		fl.Flush()
+		if done {
+			// The log is closed: nothing can append after the terminal
+			// event, so the replay above was the complete stream.
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		case <-time.After(maxEventWait):
+			// Heartbeat comment keeps proxies from timing the stream out.
+			if _, werr := io.WriteString(w, ": heartbeat\n\n"); werr != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// eventBatch is the JSON body of one long-poll response.
+type eventBatch struct {
+	Events []Event `json:"events"`
+	// Next is the cursor for the follow-up request's ?since=.
+	Next uint64 `json:"next"`
+	// Done reports that the stream is complete and Events is its tail.
+	Done bool `json:"done"`
+}
+
+func (m *Manager) longPoll(w http.ResponseWriter, r *http.Request, job *Job, since uint64) {
+	wait := maxEventWait
+	if s := r.URL.Query().Get("wait"); s != "" {
+		d, derr := time.ParseDuration(s)
+		if derr != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, "malformed wait")
+			return
+		}
+		if d < wait {
+			wait = d
+		}
+	}
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		evs, notify, done := job.events.since(since)
+		if len(evs) > 0 || done {
+			next := since
+			if len(evs) > 0 {
+				next = evs[len(evs)-1].Seq
+			}
+			writeJSON(w, http.StatusOK, eventBatch{Events: evs, Next: next, Done: done})
+			return
+		}
+		select {
+		case <-notify:
+		case <-deadline.C:
+			writeJSON(w, http.StatusOK, eventBatch{Events: []Event{}, Next: since})
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

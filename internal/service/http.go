@@ -50,6 +50,9 @@ type errorBody struct {
 //	GET    /v1/jobs/{id}  poll job state; includes the result when done
 //	GET    /v1/jobs/{id}/result  the raw synthesis document, byte-for-byte
 //	                      as the codec produced it (409 until done)
+//	GET    /v1/jobs/{id}/events  job progress: SSE stream of lifecycle and
+//	                      pipeline-span events (?poll=1 long-polls a JSON
+//	                      batch instead; see events.go)
 //	DELETE /v1/jobs/{id}  cancel a queued or running job
 //	GET    /healthz       liveness (503 while draining)
 //	GET    /metrics       the obs registry in Prometheus text format
@@ -58,55 +61,74 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", m.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", m.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", m.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
 	mux.HandleFunc("GET /healthz", m.handleHealth)
 	mux.HandleFunc("GET /metrics", handleMetrics)
 	return mux
 }
 
-func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// submission is one parsed POST /v1/jobs request.
+type submission struct {
+	level core.Level
+	mode  Mode
+	graph *cdfg.Graph
+}
+
+// parseSubmission reads and validates a submit request; on failure the
+// returned status is non-zero and msg is the client-facing error.
+func parseSubmission(r *http.Request) (sub submission, status int, msg string) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
-		return
+		return sub, http.StatusBadRequest, "reading body: " + err.Error()
 	}
 	if len(body) > maxRequestBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds limit")
-		return
+		return sub, http.StatusRequestEntityTooLarge, "request body exceeds limit"
 	}
-	level := core.OptimizedGTLT
+	sub.level = core.OptimizedGTLT
 	if lv := r.URL.Query().Get("level"); lv != "" {
 		parsed, ok := parseLevel(lv)
 		if !ok {
-			writeError(w, http.StatusBadRequest, "unknown level "+lv)
-			return
+			return sub, http.StatusBadRequest, "unknown level " + lv
 		}
-		level = parsed
+		sub.level = parsed
 	}
 	mode, ok := ParseMode(r.URL.Query().Get("mode"))
 	if !ok {
-		writeError(w, http.StatusBadRequest, "unknown mode "+r.URL.Query().Get("mode")+
-			" (want synth or search)")
-		return
+		return sub, http.StatusBadRequest, "unknown mode " + r.URL.Query().Get("mode") +
+			" (want synth or search)"
 	}
+	sub.mode = mode
 	g, err := decodeSubmission(r.Header.Get("Content-Type"), body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return sub, http.StatusBadRequest, err.Error()
 	}
-	job, err := m.SubmitMode(g, level, mode)
+	sub.graph = g
+	return sub, 0, ""
+}
+
+// writeSubmitOutcome maps a Submit result onto the HTTP status space.
+func writeSubmitOutcome(w http.ResponseWriter, job *Job, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, err.Error())
-		return
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
-		return
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSON(w, http.StatusAccepted, statusOf(job))
+	}
+}
+
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	sub, status, msg := parseSubmission(r)
+	if status != 0 {
+		writeError(w, status, msg)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, statusOf(job))
+	job, err := m.SubmitMode(sub.graph, sub.level, sub.mode)
+	writeSubmitOutcome(w, job, err)
 }
 
 // decodeSubmission negotiates the POST /v1/jobs body on its Content-Type:

@@ -44,6 +44,8 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"runtime"
@@ -164,6 +166,19 @@ type Config struct {
 	// latency should stay in interactive range. SearchWaves < 0 scores the
 	// ablation seeds only (a served exploration sweep).
 	SearchWaves, SearchBeam, SearchBudget int
+	// Dedup enables request-level deduplication: a submission whose
+	// content key (see ContentKey) matches a queued or running job joins
+	// that job instead of admitting a new one, counted by
+	// service/dedup_hits. The codec's deterministic encoding makes the
+	// key canonical, so two users posting the same CDFG share one
+	// pipeline run. Terminal jobs never match — resubmitting a finished
+	// document is a fresh (memo-cache-warm) job.
+	Dedup bool
+	// NodeID, when non-empty, suffixes every job ID with "@<NodeID>" so a
+	// fleet peer receiving a poll for a foreign job can route it to the
+	// owning node (see FleetHandler). Single-node deployments leave it
+	// empty and IDs keep their bare "job-000001" form.
+	NodeID string
 }
 
 func (c Config) withDefaults() Config {
@@ -191,10 +206,12 @@ func (c Config) withDefaults() Config {
 // Job is one synthesis request moving through the lifecycle. All methods
 // are safe for concurrent use.
 type Job struct {
-	id    string
-	graph *cdfg.Graph
-	level core.Level
-	mode  Mode
+	id     string
+	graph  *cdfg.Graph
+	level  core.Level
+	mode   Mode
+	key    string // content key; set when the manager dedups
+	events *eventLog
 
 	mu     sync.Mutex
 	state  State
@@ -241,8 +258,8 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 // finish moves the job to a terminal state exactly once.
 func (j *Job) finish(state State, result []byte, err error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state.Terminal() {
+		j.mu.Unlock()
 		return
 	}
 	j.state = state
@@ -250,6 +267,8 @@ func (j *Job) finish(state State, result []byte, err error) {
 	j.err = err
 	j.finished = time.Now()
 	close(j.done)
+	j.mu.Unlock()
+	j.pushState(state, err)
 }
 
 // Manager owns the admission queue, the runner pool and the job index.
@@ -260,6 +279,7 @@ type Manager struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
+	byKey    map[string]*Job // content key -> non-terminal job (Dedup only)
 	queue    chan *Job
 	draining bool
 	nextID   uint64
@@ -277,6 +297,7 @@ func New(cfg Config) *Manager {
 		base:  base,
 		stop:  stop,
 		jobs:  map[string]*Job{},
+		byKey: map[string]*Job{},
 		queue: make(chan *Job, cfg.QueueDepth),
 	}
 	m.wg.Add(cfg.Concurrency)
@@ -295,22 +316,73 @@ func (m *Manager) Submit(graph *cdfg.Graph, level core.Level) (*Job, error) {
 
 // SubmitMode is Submit with an explicit job mode. An unknown mode is a
 // caller bug (the HTTP layer validates with ParseMode first) and is
-// rejected before the job is admitted.
+// rejected before the job is admitted. With Config.Dedup, the graph's
+// content key is computed here; callers that already hold it (the fleet
+// handler hashes for ring routing) use SubmitKeyed instead.
 func (m *Manager) SubmitMode(graph *cdfg.Graph, level core.Level, mode Mode) (*Job, error) {
+	return m.SubmitKeyed(graph, level, mode, "")
+}
+
+// ContentKey returns the canonical content address of a submission: the
+// SHA-256 (hex) of the codec's deterministic byte-identical encoding of
+// graph together with the optimization level and job mode. Logically
+// identical submissions collide regardless of how the document was
+// produced, which makes the key safe for request-level dedup and for
+// consistent-hash routing across a fleet. The canonical encoding is
+// returned too, so forwarding nodes relay exactly the bytes they hashed.
+func ContentKey(graph *cdfg.Graph, level core.Level, mode Mode) (key string, canonical []byte, err error) {
+	canonical, err = codec.EncodeGraph(graph)
+	if err != nil {
+		return "", nil, fmt.Errorf("service: content key: %w", err)
+	}
+	h := sha256.New()
+	h.Write(canonical)
+	h.Write([]byte{0})
+	h.Write([]byte(level.String()))
+	h.Write([]byte{0})
+	h.Write([]byte(mode))
+	return hex.EncodeToString(h.Sum(nil)), canonical, nil
+}
+
+// SubmitKeyed is SubmitMode with a precomputed content key (as returned
+// by ContentKey; the empty string computes it when Config.Dedup is on).
+// When dedup finds a queued or running job under the same key, that job
+// is returned instead of admitting a new one.
+func (m *Manager) SubmitKeyed(graph *cdfg.Graph, level core.Level, mode Mode, key string) (*Job, error) {
 	if mode != ModeSynth && mode != ModeSearch {
 		return nil, fmt.Errorf("service: unknown job mode %q", mode)
+	}
+	if m.cfg.Dedup && key == "" {
+		var err error
+		if key, _, err = ContentKey(graph, level, mode); err != nil {
+			return nil, err
+		}
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
 		return nil, ErrDraining
 	}
+	if m.cfg.Dedup {
+		if prior, ok := m.byKey[key]; ok {
+			if !prior.State().Terminal() {
+				obs.Add("service/dedup_hits", 1)
+				return prior, nil
+			}
+			delete(m.byKey, key) // stale: raced with completion
+		}
+	}
 	m.nextID++
+	id := fmt.Sprintf("job-%06d", m.nextID)
+	if m.cfg.NodeID != "" {
+		id += "@" + m.cfg.NodeID
+	}
 	job := &Job{
-		id:        fmt.Sprintf("job-%06d", m.nextID),
+		id:        id,
 		graph:     graph,
 		level:     level,
 		mode:      mode,
+		events:    newEventLog(),
 		state:     StateQueued,
 		done:      make(chan struct{}),
 		submitted: time.Now(),
@@ -323,9 +395,27 @@ func (m *Manager) SubmitMode(graph *cdfg.Graph, level core.Level, mode Mode) (*J
 		return nil, ErrQueueFull
 	}
 	m.jobs[job.id] = job
+	if m.cfg.Dedup {
+		job.key = key
+		m.byKey[key] = job
+	}
 	obs.Add("service/jobs_submitted", 1)
 	obs.Set("service/jobs_queued", int64(len(m.queue)))
+	job.pushState(StateQueued, nil)
 	return job, nil
+}
+
+// dropKey retires job's dedup entry once it is terminal, so later
+// submissions of the same document start fresh runs.
+func (m *Manager) dropKey(job *Job) {
+	if job.key == "" {
+		return
+	}
+	m.mu.Lock()
+	if m.byKey[job.key] == job {
+		delete(m.byKey, job.key)
+	}
+	m.mu.Unlock()
 }
 
 // Get returns the job with the given ID.
@@ -357,6 +447,8 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 		job.finished = time.Now()
 		close(job.done)
 		job.mu.Unlock()
+		job.pushState(StateCancelled, context.Canceled)
+		m.dropKey(job)
 		obs.Add("service/jobs_cancelled", 1)
 	case job.state == StateRunning && job.cancel != nil:
 		cancel := job.cancel
@@ -426,6 +518,7 @@ func (m *Manager) runner() {
 
 // runJob executes one job under its per-job context.
 func (m *Manager) runJob(job *Job) {
+	defer m.dropKey(job)
 	job.mu.Lock()
 	if job.state.Terminal() { // cancelled while queued
 		job.mu.Unlock()
@@ -442,6 +535,16 @@ func (m *Manager) runJob(job *Job) {
 	job.state = StateRunning
 	job.cancel = cancel
 	job.mu.Unlock()
+	job.pushState(StateRunning, nil)
+
+	// While the job runs, completed pipeline spans stream into its event
+	// log (see events.go for the attribution caveat under concurrency).
+	if tr := obs.GlobalTracer(); tr.Enabled() {
+		stopWatch := tr.Watch(func(ev obs.SpanEvent) {
+			job.events.append(Event{Type: "span", Span: &ev})
+		})
+		defer stopWatch()
+	}
 
 	m.mu.Lock()
 	m.running++

@@ -13,7 +13,10 @@ go vet ./...
 echo "== checkdoc (package docs + frontend/gen exported-identifier docs)"
 go run ./scripts/checkdoc
 echo "== go test -race"
-go test -race ./...
+# 20m: the default 10m per-package budget is too tight for
+# internal/search under the race detector once the loadtest package's
+# exec'd daemon fleets compete for the same cores.
+go test -race -timeout 20m ./...
 echo "== docs: every examples/*.adl compiles and round-trips byte-identically"
 go test -race -run 'TestCompileEmbeddedExamples' -count=1 ./internal/frontend
 for adl in examples/*.adl; do
@@ -28,8 +31,58 @@ echo "== cold-cache overhead guard (<5% on the all-miss path)"
 go test -run 'TestColdCacheOverheadGuard' -count=1 .
 echo "== server smoke test (asyncsynthd on a random port: submit DIFFEQ,"
 echo "   poll to completion, served netlists bit-identical to direct run,"
-echo "   graceful SIGTERM drain)"
+echo "   graceful SIGTERM drain; the daemon's log is captured and replayed"
+echo "   on failure)"
 go test -race -run 'TestServerSmoke' -count=1 ./cmd/asyncsynthd
+echo "== daemon shell smoke (kernel-assigned free port, never a fixed one;"
+echo "   fails fast and prints the captured server log on any non-zero step)"
+tmp=$(mktemp -d)
+daemon_pid=
+cleanup() {
+	if [ -n "$daemon_pid" ]; then
+		kill "$daemon_pid" 2>/dev/null || true
+	fi
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+go build -o "$tmp/asyncsynthd" ./cmd/asyncsynthd
+go build -o "$tmp/asyncsynth" ./cmd/asyncsynth
+"$tmp/asyncsynthd" -addr 127.0.0.1:0 -concurrency 1 >"$tmp/daemon.log" 2>&1 &
+daemon_pid=$!
+fail_daemon() {
+	echo "verify: daemon smoke failed: $1" >&2
+	echo "--- captured server log ($tmp/daemon.log) ---" >&2
+	cat "$tmp/daemon.log" >&2
+	exit 1
+}
+base=
+for _ in $(seq 1 100); do
+	base=$(awk '/^listening on /{print $3; exit}' "$tmp/daemon.log")
+	[ -n "$base" ] && break
+	kill -0 "$daemon_pid" 2>/dev/null || fail_daemon "daemon exited before announcing its port"
+	sleep 0.1
+done
+[ -n "$base" ] || fail_daemon "daemon never printed 'listening on' (10s)"
+curl -fsS "$base/healthz" >/dev/null || fail_daemon "healthz"
+"$tmp/asyncsynth" export diffeq >"$tmp/diffeq.json"
+job=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+	--data-binary @"$tmp/diffeq.json" "$base/v1/jobs" |
+	sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$job" ] || fail_daemon "submission returned no job ID"
+state=
+for _ in $(seq 1 600); do
+	state=$(curl -fsS "$base/v1/jobs/$job" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -1)
+	[ "$state" = done ] && break
+	case "$state" in failed | cancelled) fail_daemon "job state $state" ;; esac
+	sleep 0.1
+done
+[ "$state" = done ] || fail_daemon "job never finished (60s, last state '$state')"
+curl -fsS "$base/v1/jobs/$job/result" >"$tmp/served.doc" || fail_daemon "result fetch"
+"$tmp/asyncsynth" synthdoc diffeq >"$tmp/direct.doc"
+cmp "$tmp/served.doc" "$tmp/direct.doc" || fail_daemon "served document differs from the direct run"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || fail_daemon "daemon exited non-zero on SIGTERM drain"
+daemon_pid=
 echo "== server cancellation (DELETE frees pool workers without failing"
 echo "   the other in-flight jobs; asserted via obs pool gauges)"
 go test -race -run 'TestCancelFreesWorkersWithoutFailingOthers|TestHTTPBackpressureAndCancel' -count=1 ./internal/service
@@ -72,4 +125,24 @@ echo "$bench_out"
 		}
 		END { print "}}" }'
 } >>BENCH_covering.json
+echo "== fleet smoke (3 asyncsynthd nodes: submit via one node, identical"
+echo "   result from every node, kill the owning node mid-run, re-verify"
+echo "   through a survivor)"
+go test -race -run 'TestFleetSmoke' -count=1 ./internal/loadtest
+echo "== fleet sustained-load sample (3 nodes via scripts/loadgen; appending"
+echo "   p50/p95/p99 latency to BENCH_service.json)"
+load_out=$(go run ./scripts/loadgen -nodes 3 -gen 0 -clients 4)
+echo "$load_out"
+{
+	printf '{"date":"%s","commit":"%s",' \
+		"$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+	echo "$load_out" | awk '
+		/^  "(jobs|done|p50_ms|p95_ms|p99_ms|max_queue_depth|remote_hits|cross_verified)":/ {
+			gsub(/[ ,]/, "")
+			if (n++) printf(",")
+			printf("%s", $0)
+		}
+		END { print "}" }'
+} >>BENCH_service.json
 echo "== verify: OK"
