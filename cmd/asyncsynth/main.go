@@ -17,6 +17,9 @@
 //	asyncsynth export [bench]      print the CDFG as interchange JSON
 //	asyncsynth compile [file.adl]  compile ADL source to interchange JSON
 //	asyncsynth synthdoc [bench]    print the synthesis result document
+//	asyncsynth patch [base] delta.json  apply a CDFG delta document to a
+//	                               design and print the patched interchange
+//	                               JSON (dirty classification on stderr)
 //
 // The global -j N flag bounds the worker pool used for per-controller
 // synthesis, per-output minimization and exploration sweeps (0 = all
@@ -69,6 +72,7 @@ import (
 	"repro/internal/memo"
 	"repro/internal/obs"
 	"repro/internal/search"
+	"repro/internal/stage"
 	"repro/internal/synth"
 	"repro/internal/transform"
 )
@@ -81,6 +85,7 @@ var (
 	showMetrics = flag.Bool("metrics", false, "print the per-stage metrics table after the command")
 	pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cacheDir    = flag.String("cache-dir", "", "persist hazard-free minimization results under this directory (warm runs skip re-solving)")
+	cacheMax    = flag.Int64("cache-max-bytes", 0, "cap the on-disk cache at this many bytes, evicting oldest entries first (0 = unbounded)")
 	noCache     = flag.Bool("no-cache", false, "disable hazard-free minimization memoization entirely")
 	solverName  = flag.String("solver", "bb", "covering backend for exact hazard-free minimization: bb, pb, portfolio or greedy")
 )
@@ -130,6 +135,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "asyncsynth:", err)
 			return 1
 		}
+		cache.SetMaxBytes(*cacheMax)
 		minimizer = cache
 	}
 	cmd := flag.Arg(0)
@@ -163,6 +169,8 @@ func run() int {
 		err = doCompile(args)
 	case "synthdoc":
 		err = synthdoc(args)
+	case "patch":
+		err = doPatch(args)
 	default:
 		fmt.Fprintf(os.Stderr, "asyncsynth: unknown command %q\n", cmd)
 		usage()
@@ -250,6 +258,8 @@ flags:
                             (e.g. localhost:6060)
   -cache-dir dir            persist hazard-free minimization results in dir;
                             warm runs load them instead of re-solving
+  -cache-max-bytes N        cap the on-disk cache at N bytes, evicting the
+                            oldest entries first (0 = unbounded, default)
   -no-cache                 disable minimization memoization (results are
                             identical either way; only wall time changes)
   -solver name              covering backend for exact minimization:
@@ -275,6 +285,12 @@ commands:
                             file) to interchange JSON; -check only verifies
   synthdoc [bench]          run the flow locally, print the synthesis
                             result document asyncsynthd would serve
+  patch [base] delta.json   apply a CDFG delta document (docs/INTERCHANGE.md)
+                            to a design — a benchmark name, .adl source or
+                            exported .json document — and print the patched
+                            interchange JSON; the edit's dirty classification
+                            (which stages an incremental re-run recomputes)
+                            goes to stderr. "-" reads the delta from stdin
   dot cdfg|afsm|channels [bench]  Graphviz output (after full optimization)
 
 benchmarks: diffeq (default), gcd, fir, ewf, ar — or a path to an .adl
@@ -720,6 +736,66 @@ func doCompile(args []string) error {
 		return nil
 	}
 	data, err := codec.EncodeGraph(g)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
+// doPatch applies a CDFG delta document to a base design and prints the
+// patched design as interchange JSON, mirroring what asyncsynthd's
+// PATCH /v1/jobs/{id} computes server-side. The base is a benchmark
+// name, an .adl source or an exported interchange .json document; the
+// edit's dirty classification — whether an incremental re-run is global
+// or confined to named functional units — is reported on stderr.
+func doPatch(args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		return usageErrorf("patch needs [base] and a delta file")
+	}
+	baseArg := ""
+	deltaPath := args[0]
+	if len(args) == 2 {
+		baseArg, deltaPath = args[0], args[1]
+	}
+	var g *cdfg.Graph
+	var err error
+	if strings.HasSuffix(baseArg, ".json") {
+		data, rerr := os.ReadFile(baseArg)
+		if rerr != nil {
+			return rerr
+		}
+		g, err = codec.DecodeGraph(data)
+	} else {
+		g, _, _, err = buildBench(baseArg)
+	}
+	if err != nil {
+		return err
+	}
+	var deltaData []byte
+	if deltaPath == "-" {
+		deltaData, err = io.ReadAll(os.Stdin)
+	} else {
+		deltaData, err = os.ReadFile(deltaPath)
+	}
+	if err != nil {
+		return err
+	}
+	d, err := codec.DecodeDelta(deltaData)
+	if err != nil {
+		return err
+	}
+	patched, err := codec.ApplyDelta(g, d)
+	if err != nil {
+		return err
+	}
+	dirty := stage.Classify(g, d)
+	if dirty.Global {
+		fmt.Fprintln(os.Stderr, "dirty: global (full recompute)")
+	} else {
+		fmt.Fprintf(os.Stderr, "dirty: local to %s\n", strings.Join(dirty.FUs, ", "))
+	}
+	data, err := codec.EncodeGraph(patched)
 	if err != nil {
 		return err
 	}

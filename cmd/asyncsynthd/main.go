@@ -6,7 +6,8 @@
 //
 //	asyncsynthd [-addr host:port] [-queue-depth N] [-concurrency N]
 //	            [-j N] [-job-timeout D] [-drain-timeout D]
-//	            [-cache-dir dir] [-no-cache] [-no-dedup]
+//	            [-cache-dir dir] [-cache-max-bytes N] [-no-cache]
+//	            [-no-stage] [-no-dedup]
 //	            [-self URL] [-peers URL,URL,...] [-cache-peers URL,...]
 //	            [-cache-timeout D] [-health-interval D]
 //
@@ -20,14 +21,22 @@
 //	                             (also text/adl, text/plain) is ADL
 //	                             behavioral source compiled on submission
 //	                             (asyncsynth compile checks one locally)
-//	GET    /v1/jobs/{id}         poll job state (result embedded when done)
+//	GET    /v1/jobs/{id}         poll job state (result embedded when done;
+//	                             "stage" names the latest pipeline stage
+//	                             while running)
+//	PATCH  /v1/jobs/{id}         apply a CDFG delta document to the job's
+//	                             input design and run the patched design
+//	                             as a new job; unchanged pipeline stages
+//	                             replay from the incremental stage cache
+//	                             (asyncsynth patch builds delta documents)
 //	GET    /v1/jobs/{id}/result  the synthesis document, byte-for-byte
 //	GET    /v1/jobs/{id}/events  job progress: SSE stream of lifecycle and
 //	                             pipeline-span events (?poll=1 long-polls
 //	                             JSON batches instead)
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
-//	GET    /v1/cache/{key}       one solved minimization record, for peer
-//	                             cache fills (fleet mode)
+//	GET    /v1/cache/{key}       one solved minimization record or cached
+//	                             stage payload, for peer cache fills
+//	                             (fleet mode)
 //	GET    /healthz              liveness (503 while draining)
 //	GET    /metrics              Prometheus text exposition of the obs
 //	                             registry (stage timings, memo hit rates,
@@ -65,6 +74,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -74,6 +84,7 @@ import (
 	"repro/internal/memo"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/stage"
 	"repro/internal/synth"
 )
 
@@ -84,8 +95,10 @@ var (
 	jWorkers     = flag.Int("j", 0, "total pipeline worker budget shared by the runners (0 = all CPUs)")
 	jobTimeout   = flag.Duration("job-timeout", 0, "per-job deadline (0 = none)")
 	drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for in-flight jobs before force-cancelling")
-	cacheDir     = flag.String("cache-dir", "", "persist hazard-free minimization results under this directory")
+	cacheDir     = flag.String("cache-dir", "", "persist minimization results and stage payloads under this directory")
+	cacheMax     = flag.Int64("cache-max-bytes", 0, "cap each on-disk cache at this many bytes, evicting oldest entries (0 = unbounded)")
 	noCache      = flag.Bool("no-cache", false, "disable the shared minimization memo cache")
+	noStage      = flag.Bool("no-stage", false, "disable the incremental stage engine (every job recomputes all pipeline stages)")
 	noDedup      = flag.Bool("no-dedup", false, "disable request-level dedup of identical submissions")
 	solverName   = flag.String("solver", "bb", "covering backend for exact hazard-free minimization: bb, pb, portfolio or greedy")
 
@@ -157,16 +170,41 @@ func run() int {
 
 	var minimizer synth.Minimizer
 	var cache *memo.Cache
+	fillPeers := append(append([]string{}, peerURLs...), cachePeerURLs...)
 	if !*noCache {
 		cache, err = memo.NewSolver(*cacheDir, solver)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "asyncsynthd:", err)
 			return 1
 		}
-		if fillPeers := append(append([]string{}, peerURLs...), cachePeerURLs...); len(fillPeers) > 0 {
+		cache.SetMaxBytes(*cacheMax)
+		if len(fillPeers) > 0 {
 			cache.SetRemote(fleet.NewCacheClient(fillPeers, peers, fleet.CacheClientOptions{}), *cacheTimeout)
 		}
 		minimizer = cache
+	}
+
+	// The stage engine persists its payloads next to the minimization
+	// records (a "stage" subdirectory) when -cache-dir is set, and pulls
+	// missing stage blobs from the same peers over the shared
+	// /v1/cache/{key} endpoint.
+	var store *memo.Store
+	var engine *stage.Engine
+	if !*noStage {
+		stageDir := ""
+		if *cacheDir != "" {
+			stageDir = filepath.Join(*cacheDir, "stage")
+		}
+		store, err = memo.NewStore(stageDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asyncsynthd:", err)
+			return 1
+		}
+		store.SetMaxBytes(*cacheMax)
+		if len(fillPeers) > 0 {
+			store.SetRemote(fleet.NewCacheClient(fillPeers, peers, fleet.CacheClientOptions{}), *cacheTimeout)
+		}
+		engine = stage.New(store)
 	}
 
 	cfg := service.Config{
@@ -175,6 +213,7 @@ func run() int {
 		Parallelism: *jWorkers,
 		JobTimeout:  *jobTimeout,
 		Minimizer:   minimizer,
+		Engine:      engine,
 		Solver:      solver,
 		Dedup:       !*noDedup,
 	}
@@ -188,6 +227,7 @@ func run() int {
 		Nodes: append([]string{self}, peerURLs...),
 		Peers: peers,
 		Cache: cache,
+		Blobs: store,
 	})
 
 	fmt.Printf("listening on http://%s\n", ln.Addr())

@@ -1,0 +1,198 @@
+// Machine cloning and a canonical JSON codec, the serialization seam the
+// incremental stage engine (internal/stage) keys and ships extracted
+// controllers through. The encoding preserves the machine's in-memory
+// signal and transition order exactly: Verilog emission derives port and
+// variable order from Inputs/Outputs order, so a sorted "canonical" form
+// would change downstream netlists. Encoding the same machine twice is
+// byte-identical, which is what makes the bytes usable as cache-key
+// material.
+package bm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// Clone returns a deep copy of the machine: mutating the copy (as the
+// local transforms do, in place) never aliases the original's
+// transitions, bursts or state-name table.
+func (m *Machine) Clone() *Machine {
+	c := &Machine{
+		Name:        m.Name,
+		Inputs:      append([]string(nil), m.Inputs...),
+		Outputs:     append([]string(nil), m.Outputs...),
+		Levels:      append([]string(nil), m.Levels...),
+		Init:        m.Init,
+		InitialHigh: append([]string(nil), m.InitialHigh...),
+		StateNames:  make(map[StateID]string, len(m.StateNames)),
+		nextState:   m.nextState,
+	}
+	for id, name := range m.StateNames {
+		c.StateNames[id] = name
+	}
+	c.Transitions = make([]*Transition, len(m.Transitions))
+	for i, t := range m.Transitions {
+		nt := &Transition{
+			From:  t.From,
+			To:    t.To,
+			In:    append([]Event(nil), t.In...),
+			Cond:  append([]Cond(nil), t.Cond...),
+			Out:   append([]Event(nil), t.Out...),
+			Free:  append([]string(nil), t.Free...),
+			Label: t.Label,
+		}
+		c.Transitions[i] = nt
+	}
+	return c
+}
+
+// machineDoc is the serialized machine shape. Field order (and the
+// deterministic state_names rendering) makes EncodeMachine canonical.
+type machineDoc struct {
+	Name        string            `json:"name"`
+	Inputs      []string          `json:"inputs"`
+	Outputs     []string          `json:"outputs"`
+	Levels      []string          `json:"levels,omitempty"`
+	Init        int               `json:"init"`
+	InitialHigh []string          `json:"initial_high,omitempty"`
+	StateNames  map[string]string `json:"state_names,omitempty"`
+	Transitions []transitionDoc   `json:"transitions"`
+}
+
+type transitionDoc struct {
+	From  int        `json:"from"`
+	To    int        `json:"to"`
+	In    []eventDoc `json:"in,omitempty"`
+	Cond  []condDoc  `json:"cond,omitempty"`
+	Out   []eventDoc `json:"out,omitempty"`
+	Free  []string   `json:"free,omitempty"`
+	Label string     `json:"label,omitempty"`
+}
+
+// eventDoc spells the edge as the human notation ("+", "-", "~") used
+// everywhere else in the repo's output.
+type eventDoc struct {
+	Signal string `json:"s"`
+	Edge   string `json:"e"`
+}
+
+type condDoc struct {
+	Signal string `json:"s"`
+	Value  bool   `json:"v"`
+}
+
+// EncodeMachine serializes m deterministically: identical machines
+// (including order) produce identical bytes.
+func EncodeMachine(m *Machine) ([]byte, error) {
+	d := machineDoc{
+		Name:        m.Name,
+		Inputs:      m.Inputs,
+		Outputs:     m.Outputs,
+		Levels:      m.Levels,
+		Init:        int(m.Init),
+		InitialHigh: m.InitialHigh,
+		Transitions: make([]transitionDoc, 0, len(m.Transitions)),
+	}
+	if len(m.StateNames) > 0 {
+		d.StateNames = make(map[string]string, len(m.StateNames))
+		for id, name := range m.StateNames {
+			d.StateNames[strconv.Itoa(int(id))] = name
+		}
+	}
+	for _, t := range m.Transitions {
+		td := transitionDoc{From: int(t.From), To: int(t.To), Free: t.Free, Label: t.Label}
+		for _, e := range t.In {
+			td.In = append(td.In, eventDoc{Signal: e.Signal, Edge: e.Edge.String()})
+		}
+		for _, c := range t.Cond {
+			td.Cond = append(td.Cond, condDoc{Signal: c.Signal, Value: c.Value})
+		}
+		for _, e := range t.Out {
+			td.Out = append(td.Out, eventDoc{Signal: e.Signal, Edge: e.Edge.String()})
+		}
+		d.Transitions = append(d.Transitions, td)
+	}
+	// encoding/json renders map keys sorted, so state_names is
+	// deterministic without an explicit ordering pass.
+	return json.Marshal(d)
+}
+
+func parseEdge(s string) (Edge, error) {
+	switch s {
+	case "+":
+		return Rise, nil
+	case "-":
+		return Fall, nil
+	case "~":
+		return Toggle, nil
+	}
+	return 0, fmt.Errorf("bm: unknown edge %q (want +, - or ~)", s)
+}
+
+// DecodeMachine is the strict inverse of EncodeMachine. Unknown fields,
+// trailing data, bad edge spellings and malformed state IDs are errors —
+// a cache record that fails here is treated as a miss, never as a
+// machine.
+func DecodeMachine(data []byte) (*Machine, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var d machineDoc
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("bm: decode machine: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("bm: decode machine: trailing data after document")
+	}
+	m := &Machine{
+		Name:        d.Name,
+		Inputs:      d.Inputs,
+		Outputs:     d.Outputs,
+		Levels:      d.Levels,
+		Init:        StateID(d.Init),
+		InitialHigh: d.InitialHigh,
+		StateNames:  map[StateID]string{},
+	}
+	maxState := m.Init
+	for key, name := range d.StateNames {
+		id, err := strconv.Atoi(key)
+		if err != nil {
+			return nil, fmt.Errorf("bm: decode machine: state_names key %q: %w", key, err)
+		}
+		m.StateNames[StateID(id)] = name
+		if StateID(id) > maxState {
+			maxState = StateID(id)
+		}
+	}
+	for i, td := range d.Transitions {
+		t := &Transition{From: StateID(td.From), To: StateID(td.To), Free: td.Free, Label: td.Label}
+		for _, e := range td.In {
+			edge, err := parseEdge(e.Edge)
+			if err != nil {
+				return nil, fmt.Errorf("bm: decode machine: transitions[%d].in: %w", i, err)
+			}
+			t.In = append(t.In, Event{Signal: e.Signal, Edge: edge})
+		}
+		for _, c := range td.Cond {
+			t.Cond = append(t.Cond, Cond{Signal: c.Signal, Value: c.Value})
+		}
+		for _, e := range td.Out {
+			edge, err := parseEdge(e.Edge)
+			if err != nil {
+				return nil, fmt.Errorf("bm: decode machine: transitions[%d].out: %w", i, err)
+			}
+			t.Out = append(t.Out, Event{Signal: e.Signal, Edge: edge})
+		}
+		m.Transitions = append(m.Transitions, t)
+		if t.From > maxState {
+			maxState = t.From
+		}
+		if t.To > maxState {
+			maxState = t.To
+		}
+	}
+	// NewState on a decoded machine must never reuse an existing ID.
+	m.nextState = maxState + 1
+	return m, nil
+}

@@ -1,0 +1,117 @@
+package bm
+
+import (
+	"reflect"
+	"testing"
+)
+
+// testMachine builds a small XBM machine exercising every encoded
+// feature: all three edge kinds, sampled conditions, free signals,
+// labels, initial-high signals and named states.
+func testMachine() *Machine {
+	m := NewMachine("ctl")
+	idle := m.NewState("idle")
+	work := m.NewState("work")
+	done := m.NewState("") // unnamed state
+	m.Init = idle
+	m.AddInput("req")
+	m.AddInput("r1")
+	m.AddOutput("ack")
+	m.AddOutput("go")
+	m.AddLevel("sel")
+	m.InitialHigh = []string{"r1"}
+	m.AddTransition(&Transition{
+		From: idle, To: work,
+		In:    []Event{{Signal: "req", Edge: Rise}},
+		Cond:  []Cond{{Signal: "sel", Value: true}},
+		Out:   []Event{{Signal: "go", Edge: Rise}},
+		Label: "start",
+	})
+	m.AddTransition(&Transition{
+		From: work, To: done,
+		In:   []Event{{Signal: "r1", Edge: Fall}, {Signal: "req", Edge: Toggle}},
+		Out:  []Event{{Signal: "go", Edge: Fall}, {Signal: "ack", Edge: Rise}},
+		Free: []string{"sel"},
+	})
+	m.AddTransition(&Transition{
+		From: done, To: idle,
+		In:   []Event{{Signal: "req", Edge: Fall}},
+		Cond: []Cond{{Signal: "sel", Value: false}},
+		Out:  []Event{{Signal: "ack", Edge: Fall}},
+	})
+	return m
+}
+
+// TestMachineCodecRoundTrip asserts Decode(Encode(m)) reproduces the
+// machine exactly, including the unexported state allocator, and that
+// re-encoding is byte-identical (the property the stage keys rely on).
+func TestMachineCodecRoundTrip(t *testing.T) {
+	m := testMachine()
+	data, err := EncodeMachine(m)
+	if err != nil {
+		t.Fatalf("EncodeMachine: %v", err)
+	}
+	got, err := DecodeMachine(data)
+	if err != nil {
+		t.Fatalf("DecodeMachine: %v", err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip changed the machine:\n got %#v\nwant %#v", got, m)
+	}
+	again, err := EncodeMachine(got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if string(again) != string(data) {
+		t.Errorf("re-encoding a decoded machine is not byte-identical:\n got %s\nwant %s", again, data)
+	}
+	if id := got.NewState("next"); id != m.nextState-1+1 {
+		t.Errorf("decoded machine allocates state %d; want %d", id, m.nextState)
+	}
+}
+
+// TestMachineCloneIndependence asserts Clone deep-copies every slice and
+// map, so mutating the clone never reaches the original.
+func TestMachineCloneIndependence(t *testing.T) {
+	m := testMachine()
+	want, err := EncodeMachine(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	c.Name = "other"
+	c.Inputs[0] = "X"
+	c.Outputs = append(c.Outputs, "extra")
+	c.InitialHigh[0] = "Y"
+	c.StateNames[0] = "renamed"
+	c.Transitions[0].In[0].Signal = "Z"
+	c.Transitions[1].Free[0] = "W"
+	c.Transitions[2].Cond[0].Value = true
+	after, err := EncodeMachine(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(want) {
+		t.Error("mutating a clone changed the original machine")
+	}
+}
+
+// TestMachineDecodeStrict rejects malformed documents outright.
+func TestMachineDecodeStrict(t *testing.T) {
+	valid, err := EncodeMachine(testMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"unknown field":    `{"name":"m","bogus":1}`,
+		"trailing garbage": string(valid) + `{}`,
+		"bad edge":         `{"name":"m","init":0,"transitions":[{"from":0,"to":0,"in":[{"s":"a","e":"?"}]}]}`,
+		"bad state key":    `{"name":"m","init":0,"state_names":{"x":"s"}}`,
+		"not json":         `nope`,
+	}
+	for name, doc := range cases {
+		if _, err := DecodeMachine([]byte(doc)); err == nil {
+			t.Errorf("%s: DecodeMachine accepted %q", name, doc)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package codec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/diffeq"
+)
+
+// deltaJSON wraps ops into a complete delta document.
+func deltaJSON(ops ...string) []byte {
+	return []byte(fmt.Sprintf(`{"version":1,"kind":"cdfg-delta","ops":[%s]}`,
+		strings.Join(ops, ",")))
+}
+
+// TestDecodeDeltaValid accepts one well-formed op of each kind.
+func TestDecodeDeltaValid(t *testing.T) {
+	ops := map[string]string{
+		"add_node":     `{"op":"add_node","node":{"id":99,"kind":"assign","block":0,"order":7,"stmts":[{"dst":"t","op":"mov","src1":"u"}]}}`,
+		"remove_node":  `{"op":"remove_node","id":3}`,
+		"retype stmts": `{"op":"retype_node","id":2,"stmts":[{"dst":"B","op":"-","src1":"dx2","src2":"dx"}]}`,
+		"retype cond":  `{"op":"retype_node","id":4,"cond":"c"}`,
+		"add_arc":      `{"op":"add_arc","arc":{"id":99,"from":0,"to":1,"kind":"data"}}`,
+		"remove_arc":   `{"op":"remove_arc","id":3}`,
+		"rewire from":  `{"op":"rewire_arc","id":3,"from":2}`,
+		"rewire both":  `{"op":"rewire_arc","id":3,"from":2,"to":4}`,
+		"retime":       `{"op":"retime","id":3,"order":5}`,
+	}
+	for name, op := range ops {
+		if _, err := DecodeDelta(deltaJSON(op)); err != nil {
+			t.Errorf("%s: DecodeDelta rejected %s: %v", name, op, err)
+		}
+	}
+}
+
+// TestDecodeDeltaStrict rejects malformed documents and field-discipline
+// violations with located errors.
+func TestDecodeDeltaStrict(t *testing.T) {
+	cases := map[string][]byte{
+		"not json":         []byte(`nope`),
+		"unknown field":    []byte(`{"version":1,"kind":"cdfg-delta","bogus":1,"ops":[{"op":"retime","id":1,"order":2}]}`),
+		"trailing data":    append(deltaJSON(`{"op":"retime","id":1,"order":2}`), []byte(`{}`)...),
+		"wrong version":    []byte(`{"version":2,"kind":"cdfg-delta","ops":[{"op":"retime","id":1,"order":2}]}`),
+		"wrong kind":       []byte(`{"version":1,"kind":"cdfg","ops":[{"op":"retime","id":1,"order":2}]}`),
+		"no ops":           []byte(`{"version":1,"kind":"cdfg-delta","ops":[]}`),
+		"unknown op":       deltaJSON(`{"op":"explode","id":1}`),
+		"missing id":       deltaJSON(`{"op":"remove_node"}`),
+		"stray node":       deltaJSON(`{"op":"remove_node","id":1,"node":{"id":9,"kind":"op","block":0,"order":0}}`),
+		"stray order":      deltaJSON(`{"op":"remove_node","id":1,"order":3}`),
+		"retype both":      deltaJSON(`{"op":"retype_node","id":1,"stmts":[{"dst":"a","op":"mov","src1":"b"}],"cond":"c"}`),
+		"retype neither":   deltaJSON(`{"op":"retype_node","id":1}`),
+		"rewire no ends":   deltaJSON(`{"op":"rewire_arc","id":1}`),
+		"retime no order":  deltaJSON(`{"op":"retime","id":1}`),
+		"stray from":       deltaJSON(`{"op":"retime","id":1,"order":2,"from":0}`),
+		"add_node no node": deltaJSON(`{"op":"add_node"}`),
+	}
+	for name, doc := range cases {
+		if _, err := DecodeDelta(doc); err == nil {
+			t.Errorf("%s: DecodeDelta accepted %s", name, doc)
+		} else if _, ok := err.(*Error); !ok {
+			t.Errorf("%s: error is %T, want *codec.Error", name, err)
+		}
+	}
+}
+
+// TestApplyDeltaOpSwap: the flagship edit round-trips through the graph
+// codec and leaves the base graph untouched.
+func TestApplyDeltaOpSwap(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	before, err := EncodeGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target *cdfg.Node
+	for _, n := range g.Nodes() {
+		if n.Kind == cdfg.KindOp && n.FU != "" && len(n.Stmts) == 1 && n.Stmts[0].Op == cdfg.OpAdd {
+			target = n
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no addition node in diffeq")
+	}
+	s := target.Stmts[0]
+	doc := deltaJSON(fmt.Sprintf(
+		`{"op":"retype_node","id":%d,"stmts":[{"dst":%q,"op":"-","src1":%q,"src2":%q}]}`,
+		target.ID, s.Dst, s.Src1, s.Src2))
+	d, err := DecodeDelta(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, err := ApplyDelta(g, d)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if got := ng.Node(target.ID).Stmts[0].Op; got != cdfg.OpSub {
+		t.Errorf("patched op %q, want -", got)
+	}
+	after, err := EncodeGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(before) {
+		t.Error("ApplyDelta mutated the base graph")
+	}
+	// The patched graph passes submission-side validation.
+	data, err := EncodeGraph(ng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeGraph(data); err != nil {
+		t.Errorf("patched graph fails round trip: %v", err)
+	}
+}
+
+// TestApplyDeltaStructural exercises add/remove/rewire/retime against a
+// real graph.
+func TestApplyDeltaStructural(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	// Duplicate an existing seq arc onto fresh IDs via add, then remove it
+	// again; rewire another arc and retime a node.
+	arcs := g.Arcs()
+	a := arcs[0]
+	doc := deltaJSON(
+		fmt.Sprintf(`{"op":"add_arc","arc":{"id":999,"from":%d,"to":%d,"kind":"data"}}`, a.From, a.To),
+		`{"op":"remove_arc","id":999}`,
+	)
+	d, err := DecodeDelta(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, err := ApplyDelta(g, d)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if ng.Arc(999) != nil {
+		t.Error("removed arc survived")
+	}
+	if len(ng.Arcs()) != len(arcs) {
+		t.Errorf("arc count %d, want %d", len(ng.Arcs()), len(arcs))
+	}
+}
+
+// TestApplyDeltaRejections: semantic failures surface as located errors
+// and never half-apply.
+func TestApplyDeltaRejections(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	start := int(g.Start)
+	cases := map[string]string{
+		"unknown node":    `{"op":"remove_node","id":424242}`,
+		"remove start":    fmt.Sprintf(`{"op":"remove_node","id":%d}`, start),
+		"bad node kind":   `{"op":"add_node","node":{"id":999,"kind":"quantum","block":0,"order":0}}`,
+		"duplicate id":    `{"op":"add_node","node":{"id":0,"kind":"assign","block":0,"order":0,"stmts":[{"dst":"a","op":"mov","src1":"b"}]}}`,
+		"bad block":       `{"op":"add_node","node":{"id":999,"kind":"assign","block":99,"order":0,"stmts":[{"dst":"a","op":"mov","src1":"b"}]}}`,
+		"dangling arc":    `{"op":"add_arc","arc":{"id":999,"from":424242,"to":0,"kind":"data"}}`,
+		"bad arc kind":    `{"op":"add_arc","arc":{"id":999,"from":0,"to":1,"kind":"warp"}}`,
+		"retype start":    fmt.Sprintf(`{"op":"retype_node","id":%d,"stmts":[{"dst":"a","op":"mov","src1":"b"}]}`, start),
+		"dangling rewire": `{"op":"rewire_arc","id":0,"to":424242}`,
+		"bad stmt op":     `{"op":"retype_node","id":2,"stmts":[{"dst":"a","op":"xor","src1":"b"}]}`,
+	}
+	for name, op := range cases {
+		d, err := DecodeDelta(deltaJSON(op))
+		if err != nil {
+			t.Errorf("%s: rejected at decode (%v), want apply-time rejection", name, err)
+			continue
+		}
+		if _, err := ApplyDelta(g, d); err == nil {
+			t.Errorf("%s: ApplyDelta accepted %s", name, op)
+		}
+	}
+}
+
+// TestApplyDeltaBaseCheck: a delta naming a different design is refused.
+func TestApplyDeltaBaseCheck(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	d, err := DecodeDelta([]byte(`{"version":1,"kind":"cdfg-delta","base":"other","ops":[{"op":"retime","id":2,"order":9}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyDelta(g, d); err == nil {
+		t.Error("ApplyDelta accepted a delta for a different base design")
+	}
+	d.Base = g.Name
+	if _, err := ApplyDelta(g, d); err != nil {
+		t.Errorf("ApplyDelta rejected a matching base: %v", err)
+	}
+}

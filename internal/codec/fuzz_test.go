@@ -38,8 +38,8 @@ func FuzzDecodeGraph(f *testing.F) {
 		valid2,
 		{},
 		[]byte("hello"),
-		valid[:len(valid)/3],                                                  // truncated mid-document
-		bytes.Replace(valid, []byte(`"from": 0`), []byte(`"from": 9999`), 1),  // dangling arc endpoint
+		valid[:len(valid)/3], // truncated mid-document
+		bytes.Replace(valid, []byte(`"from": 0`), []byte(`"from": 9999`), 1),      // dangling arc endpoint
 		bytes.Replace(valid, []byte(`"kind": "loop"`), []byte(`"kind": "if"`), 1), // broken loop context
 		bytes.Replace(valid, []byte(`"version": 1`), []byte(`"version": 2`), 1),
 		bytes.Replace(valid, []byte(`"op": "*"`), []byte(`"op": "nand"`), 1),

@@ -153,9 +153,7 @@ func RunCtx(ctx context.Context, g *cdfg.Graph, opt Options) (_ *Synthesis, err 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if opt.Timing.DefaultOp.Max == 0 && len(opt.Timing.FUOp) == 0 {
-		opt.Timing = timing.DefaultModel()
-	}
+	opt = opt.Normalized()
 	s := &Synthesis{
 		Level:       opt.Level,
 		Graph:       g,
@@ -166,45 +164,22 @@ func RunCtx(ctx context.Context, g *cdfg.Graph, opt Options) (_ *Synthesis, err 
 		Solver:      opt.Solver,
 		Encodings:   opt.Encodings,
 	}
-	exOpt := extract.Options{}
-	if opt.Level == Unoptimized {
-		s.Plan = transform.BuildChannels(g)
-		exOpt.SeparateWaits = true
-	} else {
-		topt := opt.Transform
-		if topt.Unroll == 0 {
-			topt = transform.DefaultOptions()
-			topt.SkipGT1 = opt.Transform.SkipGT1
-			topt.SkipGT2 = opt.Transform.SkipGT2
-			topt.SkipGT3 = opt.Transform.SkipGT3
-			topt.SkipGT4 = opt.Transform.SkipGT4
-			topt.SkipGT5 = opt.Transform.SkipGT5
-		}
-		topt.Timing = opt.Timing
-		plan, reports, err := transform.OptimizeGT(g, topt)
-		if err != nil {
-			return nil, fmt.Errorf("core: global transforms: %w", err)
-		}
-		s.Plan = plan
-		s.GTReports = reports
+	plan, reports, exOpt, err := GTPhase(g, opt)
+	if err != nil {
+		return nil, err
 	}
+	s.Plan = plan
+	s.GTReports = reports
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	exSp := obs.Start("extract", "")
-	res, err := extract.Extract(g, s.Plan, exOpt)
-	exSp.EndErr(err)
+	res, err := ExtractPhase(g, s.Plan, exOpt)
 	if err != nil {
-		return nil, fmt.Errorf("core: extraction: %w", err)
+		return nil, err
 	}
 	s.Machines = res.Machines
 	s.Wires = res.Wires
 	s.Primers = res.Primers
-	obs.Add("extract/machines", int64(len(res.Machines)))
-	for fu, m := range res.Machines {
-		obs.Set("extract/"+fu+"/states", int64(m.NumStates()))
-		obs.Set("extract/"+fu+"/inputs", int64(len(m.Inputs)))
-	}
 	if opt.Level == OptimizedGTLT {
 		// Fan out LT1–LT5 across controllers: each machine is optimized in
 		// place and touches no shared state, so per-FU work is independent.
@@ -212,15 +187,7 @@ func RunCtx(ctx context.Context, g *cdfg.Graph, opt Options) (_ *Synthesis, err 
 		// keeping results and error attribution deterministic.
 		fus := s.FUs()
 		reps, err := par.NamedMapCtx(ctx, "lt", opt.Parallelism, fus, func(_ context.Context, _ int, fu string) (*local.Report, error) {
-			cfg, ok := opt.LTConfigs[fu]
-			if !ok {
-				cfg = local.FullConfig()
-			}
-			rep, err := local.OptimizeWith(s.Machines[fu], cfg)
-			if err != nil {
-				return nil, fmt.Errorf("core: local transforms on %s: %w", fu, err)
-			}
-			return rep, nil
+			return LTPhase(s.Machines[fu], LTConfigFor(opt, fu), fu)
 		})
 		if err != nil {
 			return nil, err
@@ -264,15 +231,7 @@ func (s *Synthesis) SynthesizeLogic() (map[string]*synth.Result, error) {
 func (s *Synthesis) SynthesizeLogicCtx(ctx context.Context) (map[string]*synth.Result, error) {
 	fus := s.FUs()
 	results, err := par.NamedMapCtx(ctx, "synth", s.Parallelism, fus, func(ctx context.Context, _ int, fu string) (*synth.Result, error) {
-		rung, ok := s.Encodings[fu]
-		if !ok {
-			rung = -1
-		}
-		r, err := synth.SynthesizeRung(ctx, s.Machines[fu], s.Parallelism, s.Minimizer, s.Solver, rung)
-		if err != nil {
-			return nil, fmt.Errorf("core: synthesis of %s: %w", fu, err)
-		}
-		return r, nil
+		return SynthPhase(ctx, s.Machines[fu], s.Parallelism, s.Minimizer, s.Solver, RungFor(s.Encodings, fu), fu)
 	})
 	if err != nil {
 		return nil, err

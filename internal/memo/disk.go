@@ -140,7 +140,9 @@ func (c *Cache) storeDisk(key [sha256.Size]byte, res hfmin.Result, err error) {
 	}
 	if rerr := os.Rename(tmp.Name(), c.path(key)); rerr != nil {
 		os.Remove(tmp.Name())
+		return
 	}
+	c.cap.wrote(len(data))
 }
 
 // loadDisk retrieves a persisted record; ok is false on any miss, staleness

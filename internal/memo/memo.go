@@ -107,6 +107,7 @@ type Cache struct {
 	solver        logic.Solver // covering backend for exact minimizations
 	remote        Remote       // fleet-shared tier; nil = disabled
 	remoteTimeout time.Duration
+	cap           *dirCap // disk byte budget; nil = unbounded
 	shards        [numShards]shard
 
 	hits          atomic.Int64
@@ -158,6 +159,17 @@ func NewSolver(dir string, solver logic.Solver) (*Cache, error) {
 		c.shards[i].m = map[[sha256.Size]byte]*entry{}
 	}
 	return c, nil
+}
+
+// Solver returns the covering backend the cache was constructed with.
+// Cached entries are keyed by it, so downstream cache keys (the stage
+// engine's synth keys) must use this backend — not a caller-side flag —
+// when a Cache is the pipeline's Minimizer.
+func (c *Cache) Solver() logic.Solver {
+	if c == nil {
+		return logic.SolverBB
+	}
+	return c.solver
 }
 
 // Stats returns the current lookup counters.

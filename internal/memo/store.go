@@ -1,0 +1,395 @@
+package memo
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Store generalizes the Cache's memory→disk→remote layering from hfmin
+// records to arbitrary content-addressed blobs. It is the storage tier of
+// the incremental stage engine (internal/stage): every pipeline stage
+// result — a transformed CDFG, an extracted controller after local
+// transforms, a synthesized logic block — is cached under a SHA-256
+// content key, with the same singleflight deduplication, strict
+// validation and best-effort persistence semantics as the hfmin cache.
+//
+// A stage chooses, via its BlobCodec, whether its results are
+// serializable: a nil codec keeps the stage memory-only (useful for
+// results holding live pointers, like transformed graphs), a non-nil
+// codec enables the disk directory and the remote tier. Payloads on disk
+// and on the wire are wrapped in a salted envelope, so stage blobs and
+// hfmin records can never alias each other even when the fleet serves
+// both through one endpoint. Decode failures are misses, never results.
+//
+// Errors are never cached: a compute that fails vacates its key, so a
+// transient failure (cancellation, resource exhaustion) cannot poison
+// the cache for later jobs.
+type Store struct {
+	dir           string
+	remote        Remote
+	remoteTimeout time.Duration
+	cap           *dirCap
+	shards        [numShards]blobShard
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	dedupWaits atomic.Int64
+	diskHits   atomic.Int64
+	remoteHits atomic.Int64
+}
+
+// StoreSalt versions the blob envelope. It is distinct from the hfmin
+// record Salt so the two key spaces can never alias, and it must be
+// bumped whenever any cached stage payload's semantics change.
+const StoreSalt = "blob-v1"
+
+// BlobCodec serializes one stage's result type for the disk and remote
+// tiers. Encode reports ok=false for values that should stay
+// memory-only; Decode reports ok=false on any validation failure, which
+// demotes the record to a miss. Encoded payloads must be valid JSON
+// (they are embedded in the salted envelope as a raw message).
+type BlobCodec interface {
+	// Encode serializes a value; ok=false keeps it memory-only.
+	Encode(v any) ([]byte, bool)
+	// Decode strictly validates and deserializes a payload.
+	Decode(data []byte) (any, bool)
+}
+
+// Source reports which tier served a Store.Do lookup.
+type Source int
+
+// Lookup sources, ordered from most to least expensive.
+const (
+	SourceComputed Source = iota // ran the compute function
+	SourceMemory                 // in-memory hit (or singleflight wait)
+	SourceDisk                   // loaded from the disk directory
+	SourceRemote                 // filled from the remote tier
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceComputed:
+		return "computed"
+	case SourceMemory:
+		return "memory"
+	case SourceDisk:
+		return "disk"
+	case SourceRemote:
+		return "remote"
+	default:
+		return fmt.Sprintf("source(%d)", int(s))
+	}
+}
+
+// StoreStats is a snapshot of a Store's lookup counters.
+type StoreStats struct {
+	Hits       int64 // served from memory
+	Misses     int64 // computed
+	DedupWaits int64 // blocked on another goroutine computing the same key
+	DiskHits   int64 // loaded from the disk directory
+	RemoteHits int64 // filled from the remote tier
+}
+
+type blobShard struct {
+	mu sync.Mutex
+	m  map[[sha256.Size]byte]*blobEntry
+}
+
+// blobEntry mirrors the Cache's entry: done closes when val/data are
+// final, aborted marks a vacated computation whose waiters must retry.
+// data holds the encoded envelope (nil for memory-only values) so Export
+// can serve fleet cache fills without re-encoding.
+type blobEntry struct {
+	done    chan struct{}
+	val     any
+	data    []byte
+	aborted bool
+}
+
+// blobRec is the salted on-disk/wire envelope around a codec payload.
+type blobRec struct {
+	Salt string          `json:"salt"`
+	Data json.RawMessage `json:"data"`
+}
+
+// NewStore returns a blob store. A non-empty dir enables the persistent
+// layer (the directory is created if needed); empty selects
+// in-memory-only operation.
+func NewStore(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("memo: store dir: %w", err)
+		}
+	}
+	s := &Store{}
+	s.dir = dir
+	for i := range s.shards {
+		s.shards[i].m = map[[sha256.Size]byte]*blobEntry{}
+	}
+	return s, nil
+}
+
+// SetRemote attaches a remote tier consulted between disk and compute,
+// bounded per-lookup by timeout (<= 0 selects DefaultRemoteTimeout).
+// Attach before sharing the store, as the daemon does at startup.
+func (s *Store) SetRemote(r Remote, timeout time.Duration) {
+	if timeout <= 0 {
+		timeout = DefaultRemoteTimeout
+	}
+	s.remote = r
+	s.remoteTimeout = timeout
+}
+
+// Stats returns the current lookup counters.
+func (s *Store) Stats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	return StoreStats{
+		Hits:       s.hits.Load(),
+		Misses:     s.misses.Load(),
+		DedupWaits: s.dedupWaits.Load(),
+		DiskHits:   s.diskHits.Load(),
+		RemoteHits: s.remoteHits.Load(),
+	}
+}
+
+// Do returns the value cached under key, computing and caching it on a
+// miss. Concurrent calls for the same key collapse onto one computation
+// (singleflight); a computation that returns an error — or whose context
+// ends — vacates the key instead of caching. Cached values are shared by
+// reference across callers, who must treat them as immutable.
+func (s *Store) Do(ctx context.Context, key [sha256.Size]byte, codec BlobCodec, compute func(context.Context) (any, error)) (any, Source, error) {
+	if s == nil {
+		v, err := compute(ctx)
+		return v, SourceComputed, err
+	}
+	sh := &s.shards[key[0]%numShards]
+	for {
+		sh.mu.Lock()
+		if e, ok := sh.m[key]; ok {
+			sh.mu.Unlock()
+			select {
+			case <-e.done:
+			default:
+				s.dedupWaits.Add(1)
+				obs.Add("blob/dedup-waits", 1)
+				select {
+				case <-e.done:
+				case <-ctx.Done():
+					return nil, SourceComputed, ctx.Err()
+				}
+			}
+			if e.aborted {
+				continue // the computing call failed or was cancelled; retry
+			}
+			s.hits.Add(1)
+			obs.Add("blob/hits", 1)
+			return e.val, SourceMemory, nil
+		}
+		e := &blobEntry{done: make(chan struct{})}
+		sh.m[key] = e
+		sh.mu.Unlock()
+
+		abort := func() {
+			sh.mu.Lock()
+			delete(sh.m, key)
+			sh.mu.Unlock()
+			e.aborted = true
+			close(e.done)
+		}
+		// Resolve the entry even if compute panics, so waiters never block
+		// forever; the panic propagates to par's recovery while the key
+		// stays computable.
+		completed := false
+		defer func() {
+			if !completed {
+				abort()
+			}
+		}()
+
+		if codec != nil {
+			if v, data, ok := s.loadDisk(key, codec); ok {
+				s.diskHits.Add(1)
+				obs.Add("blob/disk-hits", 1)
+				e.val, e.data = v, data
+				completed = true
+				close(e.done)
+				return v, SourceDisk, nil
+			}
+			if v, data, ok := s.loadRemote(ctx, key, codec); ok {
+				s.remoteHits.Add(1)
+				obs.Add("blob/remote/hits", 1)
+				e.val, e.data = v, data
+				completed = true
+				close(e.done)
+				s.writeDisk(key, data)
+				return v, SourceRemote, nil
+			}
+		}
+
+		s.misses.Add(1)
+		obs.Add("blob/misses", 1)
+		v, err := compute(ctx)
+		completed = true
+		if err != nil {
+			abort()
+			return v, SourceComputed, err
+		}
+		e.val = v
+		if codec != nil {
+			if payload, ok := codec.Encode(v); ok {
+				if data, merr := json.Marshal(blobRec{Salt: StoreSalt, Data: payload}); merr == nil {
+					e.data = data
+					s.writeDisk(key, data)
+					s.storeRemote(key, data)
+				}
+			}
+		}
+		close(e.done)
+		return v, SourceComputed, nil
+	}
+}
+
+func (s *Store) blobPath(key [sha256.Size]byte) string {
+	return filepath.Join(s.dir, hex.EncodeToString(key[:])+".json")
+}
+
+// decodeBlob validates the envelope (salt, well-formed JSON, no trailing
+// data) and hands the payload to the codec; any defect is a miss.
+func decodeBlob(data []byte, codec BlobCodec) (any, bool) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rec blobRec
+	if dec.Decode(&rec) != nil || dec.More() || rec.Salt != StoreSalt {
+		return nil, false
+	}
+	return codec.Decode(rec.Data)
+}
+
+func (s *Store) loadDisk(key [sha256.Size]byte, codec BlobCodec) (any, []byte, bool) {
+	if s.dir == "" {
+		return nil, nil, false
+	}
+	data, err := os.ReadFile(s.blobPath(key))
+	if err != nil {
+		return nil, nil, false
+	}
+	v, ok := decodeBlob(data, codec)
+	if !ok {
+		return nil, nil, false
+	}
+	return v, data, true
+}
+
+// writeDisk persists an encoded envelope with the same write-then-rename
+// discipline as the hfmin records; failures are ignored.
+func (s *Store) writeDisk(key [sha256.Size]byte, data []byte) {
+	if s.dir == "" {
+		return
+	}
+	tmp, terr := os.CreateTemp(s.dir, "blob-*")
+	if terr != nil {
+		return
+	}
+	if _, werr := tmp.Write(data); werr != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if cerr := tmp.Close(); cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if rerr := os.Rename(tmp.Name(), s.blobPath(key)); rerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	s.cap.wrote(len(data))
+}
+
+func (s *Store) loadRemote(ctx context.Context, key [sha256.Size]byte, codec BlobCodec) (any, []byte, bool) {
+	if s.remote == nil {
+		return nil, nil, false
+	}
+	rctx, cancel := context.WithTimeout(ctx, s.remoteTimeout)
+	defer cancel()
+	data, err := s.remote.Fetch(rctx, hex.EncodeToString(key[:]))
+	switch {
+	case err != nil:
+		obs.Add("blob/remote/errors", 1)
+		return nil, nil, false
+	case data == nil:
+		obs.Add("blob/remote/misses", 1)
+		return nil, nil, false
+	}
+	v, ok := decodeBlob(data, codec)
+	if !ok {
+		obs.Add("blob/remote/corrupt", 1)
+		return nil, nil, false
+	}
+	return v, data, true
+}
+
+// storeRemote offers a freshly-encoded envelope to the remote tier,
+// detached from the computing job's context (the result is final).
+func (s *Store) storeRemote(key [sha256.Size]byte, data []byte) {
+	if s.remote == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.remoteTimeout)
+	defer cancel()
+	if s.remote.Store(ctx, hex.EncodeToString(key[:]), data) == nil {
+		obs.Add("blob/remote/stores", 1)
+	}
+}
+
+// Export serializes the store's entry for the hex-encoded key, serving
+// the fleet cache-fill protocol alongside Cache.Export. Completed
+// in-memory entries with an encoded envelope are served first, then the
+// disk layer; the requester re-validates everything, so the bytes are
+// returned verbatim.
+func (s *Store) Export(hexKey string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	raw, err := hex.DecodeString(hexKey)
+	if err != nil || len(raw) != sha256.Size {
+		return nil, false
+	}
+	var key [sha256.Size]byte
+	copy(key[:], raw)
+
+	sh := &s.shards[key[0]%numShards]
+	sh.mu.Lock()
+	e, ok := sh.m[key]
+	sh.mu.Unlock()
+	if ok {
+		select {
+		case <-e.done:
+			if !e.aborted && e.data != nil {
+				return e.data, true
+			}
+		default: // still being computed
+		}
+	}
+	if s.dir == "" {
+		return nil, false
+	}
+	data, rerr := os.ReadFile(s.blobPath(key))
+	if rerr != nil {
+		return nil, false
+	}
+	return data, true
+}

@@ -35,6 +35,12 @@ type FleetConfig struct {
 	// Cache, when non-nil, is served to peers at GET /v1/cache/{key}
 	// (the fleet cache-fill protocol; see memo.Remote).
 	Cache *memo.Cache
+	// Blobs, when non-nil, is the stage-payload store also served at
+	// GET /v1/cache/{key}: a key missing from Cache falls through to it,
+	// so one endpoint ships both hfmin records and stage blobs between
+	// nodes. The distinct salts (memo.Salt vs memo.StoreSalt) keep the
+	// two record kinds from ever aliasing.
+	Blobs *memo.Store
 	// Retry shapes forwarding retries; the zero value selects
 	// fleet.Backoff's defaults (3 attempts from 50ms).
 	Retry fleet.Backoff
@@ -61,9 +67,11 @@ type fleetProxy struct {
 //     Non-owned submissions are forwarded (retry with backoff); if the
 //     owner is unreachable the node degrades to local execution instead
 //     of failing the job, marking the peer down for the health loop.
-//   - GET/DELETE /v1/jobs/{id}[/...] honour the "@node" ID suffix: polls
-//     for a foreign job are proxied to the owning node, so any node can
-//     answer for any job (SSE event streams proxy flushed).
+//   - GET/PATCH/DELETE /v1/jobs/{id}[/...] honour the "@node" ID suffix:
+//     requests for a foreign job are proxied to the owning node, so any
+//     node can answer for any job (SSE event streams proxy flushed). A
+//     PATCH lands where the base job lives, which is also where the
+//     stage cache holding its intermediate results is warm.
 //   - GET /v1/cache/{key} serves this node's solved minimization records
 //     to peers (404 on miss), the pull side of memo.Remote.
 //
@@ -76,6 +84,7 @@ func (m *Manager) FleetHandler(cfg FleetConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", p.submit)
 	mux.Handle("GET /v1/jobs/{id}", p.byJobID())
+	mux.Handle("PATCH /v1/jobs/{id}", p.byJobID())
 	mux.Handle("GET /v1/jobs/{id}/result", p.byJobID())
 	mux.Handle("GET /v1/jobs/{id}/events", p.byJobID())
 	mux.Handle("DELETE /v1/jobs/{id}", p.byJobID())
@@ -231,9 +240,13 @@ func (p *fleetProxy) byJobID() http.Handler {
 }
 
 // cacheGet serves the fleet cache-fill protocol from the local memo
-// cache.
+// cache, falling through to the stage-payload store: both record kinds
+// share the endpoint and are told apart by their envelope salts.
 func (p *fleetProxy) cacheGet(w http.ResponseWriter, r *http.Request) {
 	data, ok := p.cfg.Cache.Export(r.PathValue("key"))
+	if !ok {
+		data, ok = p.cfg.Blobs.Export(r.PathValue("key"))
+	}
 	if !ok {
 		obs.Add("fleet/cache_serve_misses", 1)
 		writeError(w, http.StatusNotFound, "no such cache entry")

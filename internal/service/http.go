@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/frontend"
 	"repro/internal/obs"
+	"repro/internal/stage"
 )
 
 // maxRequestBytes bounds a job submission body; the largest built-in
@@ -23,11 +24,29 @@ const maxRequestBytes = 4 << 20
 // full synthesis document (verbatim, as produced by codec) once the job
 // is done.
 type JobStatus struct {
-	ID     string          `json:"id"`
-	State  string          `json:"state"`
-	Mode   string          `json:"mode,omitempty"`
-	Error  string          `json:"error,omitempty"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Mode  string `json:"mode,omitempty"`
+	// Stage names the most recently completed pipeline stage while the
+	// job runs (fed from obs spans; omitted when tracing is disabled).
+	Stage string `json:"stage,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Dirty reports the expected blast radius of the delta that created
+	// this job (PATCH /v1/jobs/{id} responses only).
+	Dirty  *DirtyInfo      `json:"dirty,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// DirtyInfo is the wire form of the stage engine's dirty-region
+// classification for a patched job.
+type DirtyInfo struct {
+	// Global reports a full recompute: the edit can change the global
+	// transforms' outcome.
+	Global bool `json:"global"`
+	// FUs lists the functional units expected to recompute when Global is
+	// false (sorted; the remaining controllers replay from the stage
+	// cache).
+	FUs []string `json:"fus,omitempty"`
 }
 
 // errorBody is the JSON body of every non-2xx response.
@@ -48,6 +67,13 @@ type errorBody struct {
 //	                      document; text/x-adl, text/adl or text/plain is
 //	                      ADL behavioral source compiled on submission
 //	GET    /v1/jobs/{id}  poll job state; includes the result when done
+//	PATCH  /v1/jobs/{id}  apply a CDFG delta document (see
+//	                      docs/INTERCHANGE.md) to the job's input design
+//	                      and submit the patched design as a new job at
+//	                      the same level and mode; the 202 response
+//	                      carries the new job plus the edit's dirty
+//	                      classification. With Config.Engine, unchanged
+//	                      stages replay from the stage cache.
 //	GET    /v1/jobs/{id}/result  the raw synthesis document, byte-for-byte
 //	                      as the codec produced it (409 until done)
 //	GET    /v1/jobs/{id}/events  job progress: SSE stream of lifecycle and
@@ -60,6 +86,7 @@ func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", m.handleGet)
+	mux.HandleFunc("PATCH /v1/jobs/{id}", m.handlePatch)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", m.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", m.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
@@ -185,6 +212,48 @@ func (m *Manager) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(result)
 }
 
+// handlePatch applies a CDFG delta to a job's input design and submits
+// the patched design as a new job. The base job may be in any state —
+// its input graph is retained verbatim for exactly this purpose — and is
+// never modified; iterating on a design is a chain of jobs, each
+// patching its predecessor. The response is the new job's status plus
+// the delta's dirty classification.
+func (m *Manager) handlePatch(w http.ResponseWriter, r *http.Request) {
+	base, err := m.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	if len(body) > maxRequestBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds limit")
+		return
+	}
+	delta, err := codec.DecodeDelta(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	patched, err := codec.ApplyDelta(base.graph, delta)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	dirty := stage.Classify(base.graph, delta)
+	job, serr := m.SubmitMode(patched, base.level, base.mode)
+	if serr != nil {
+		writeSubmitOutcome(w, job, serr)
+		return
+	}
+	st := statusOf(job)
+	st.Dirty = &DirtyInfo{Global: dirty.Global, FUs: dirty.FUs}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
 func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
 	job, err := m.Cancel(r.PathValue("id"))
 	if err != nil {
@@ -217,7 +286,7 @@ func handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func statusOf(job *Job) JobStatus {
 	job.mu.Lock()
 	defer job.mu.Unlock()
-	st := JobStatus{ID: job.id, State: job.state.String(), Mode: string(job.mode)}
+	st := JobStatus{ID: job.id, State: job.state.String(), Mode: string(job.mode), Stage: job.stage}
 	if job.err != nil {
 		st.Error = job.err.Error()
 	}

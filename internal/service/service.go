@@ -58,6 +58,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/obs"
 	"repro/internal/search"
+	"repro/internal/stage"
 	"repro/internal/synth"
 	"repro/internal/timing"
 	"repro/internal/transform"
@@ -154,6 +155,12 @@ type Config struct {
 	// Minimizer, when non-nil, is the shared hazard-free minimization
 	// cache every job routes through (typically a memo.Cache).
 	Minimizer synth.Minimizer
+	// Engine, when non-nil, routes ModeSynth pipelines (and the final
+	// realization of ModeSearch winners) through the incremental stage
+	// engine: unchanged stages replay from its store instead of
+	// recomputing, which is what makes PATCH /v1/jobs/{id} re-runs cheap.
+	// Results are bit-identical to the direct core path either way.
+	Engine *stage.Engine
 	// Solver selects the covering backend for exact minimizations when no
 	// Minimizer is configured (a memo cache fixes its backend at
 	// construction; see memo.NewSolver). Zero value is the
@@ -215,6 +222,7 @@ type Job struct {
 
 	mu     sync.Mutex
 	state  State
+	stage  string // most recently completed pipeline stage (obs span)
 	err    error
 	result []byte
 	cancel context.CancelFunc
@@ -254,6 +262,25 @@ func (j *Job) Result() []byte {
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Stage returns the name of the most recently completed pipeline stage
+// while the job runs (fed from obs spans; empty when no global tracer is
+// enabled or the job has not started).
+func (j *Job) Stage() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stage
+}
+
+// setStage records the latest completed pipeline stage name.
+func (j *Job) setStage(s string) {
+	if s == "" {
+		return
+	}
+	j.mu.Lock()
+	j.stage = s
+	j.mu.Unlock()
+}
 
 // finish moves the job to a terminal state exactly once.
 func (j *Job) finish(state State, result []byte, err error) {
@@ -538,9 +565,11 @@ func (m *Manager) runJob(job *Job) {
 	job.pushState(StateRunning, nil)
 
 	// While the job runs, completed pipeline spans stream into its event
-	// log (see events.go for the attribution caveat under concurrency).
+	// log (see events.go for the attribution caveat under concurrency)
+	// and the latest stage name lands on the job for GET /v1/jobs/{id}.
 	if tr := obs.GlobalTracer(); tr.Enabled() {
 		stopWatch := tr.Watch(func(ev obs.SpanEvent) {
+			job.setStage(ev.Stage)
 			job.events.append(Event{Type: "span", Span: &ev})
 		})
 		defer stopWatch()
@@ -590,16 +619,32 @@ func (m *Manager) perJobWorkers() int {
 
 // synthesize runs the full pipeline for one job and encodes the result.
 func (m *Manager) synthesize(ctx context.Context, job *Job) ([]byte, error) {
-	perJob := m.perJobWorkers()
 	opts := core.Options{
 		Level:       job.level,
 		Timing:      timing.DefaultModel(),
 		Transform:   transform.DefaultOptions(),
-		Parallelism: perJob,
+		Parallelism: m.perJobWorkers(),
 		Minimizer:   m.cfg.Minimizer,
 		Solver:      m.cfg.Solver,
 	}
-	s, err := core.RunCtx(ctx, job.graph, opts)
+	return m.realize(ctx, job.graph, opts)
+}
+
+// realize executes one pipeline configuration and encodes the synthesis
+// document. With Config.Engine it runs through the incremental stage
+// cache; otherwise it runs the direct core path on a clone (core.RunCtx
+// transforms its input in place, and the job's graph must stay pristine —
+// it is the base PATCH /v1/jobs/{id} applies deltas to). Both paths
+// produce byte-identical documents.
+func (m *Manager) realize(ctx context.Context, g *cdfg.Graph, opts core.Options) ([]byte, error) {
+	if m.cfg.Engine != nil {
+		s, results, err := m.cfg.Engine.Run(ctx, g, opts)
+		if err != nil {
+			return nil, err
+		}
+		return codec.EncodeSynthesis(s, results)
+	}
+	s, err := core.RunCtx(ctx, g.Clone(), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -631,13 +676,5 @@ func (m *Manager) searchJob(ctx context.Context, job *Job) ([]byte, error) {
 		return nil, err
 	}
 	copt := res.Best.Plan.CoreOptions(perJob, m.cfg.Minimizer, m.cfg.Solver)
-	s, err := core.RunCtx(ctx, job.graph, copt)
-	if err != nil {
-		return nil, err
-	}
-	results, err := s.SynthesizeLogicCtx(ctx)
-	if err != nil {
-		return nil, err
-	}
-	return codec.EncodeSynthesis(s, results)
+	return m.realize(ctx, job.graph, copt)
 }

@@ -478,4 +478,3 @@ func readAll(t *testing.T, resp *http.Response) string {
 	}
 	return string(body)
 }
-

@@ -1,0 +1,95 @@
+package stage
+
+import (
+	"sort"
+
+	"repro/internal/cdfg"
+	"repro/internal/codec"
+	"repro/internal/obs"
+)
+
+// Dirty is the result of classifying a CDFG delta's blast radius: which
+// parts of the stage graph an incremental re-run can expect to recompute.
+//
+// The classification is deliberately conservative and purely advisory.
+// Correctness never depends on it — every stage key is re-derived from
+// actual stage inputs, so a "local" edit that in fact perturbs the
+// global transforms simply misses the per-controller caches and
+// recomputes. Classify exists so jobs can report expected scope and so
+// the obs counters distinguish local edits from global ones.
+type Dirty struct {
+	// Global reports that the edit can change the global-transform
+	// outcome, invalidating every downstream stage (full recompute, never
+	// a wrong result).
+	Global bool
+	// FUs lists the functional units whose controllers the edit touches
+	// when Global is false, sorted and de-duplicated. Only those units'
+	// local-transform and synthesis stages are expected to recompute —
+	// and even they hit when the edit leaves the extracted controller
+	// byte-identical (e.g. an operation swap on one FU).
+	FUs []string
+}
+
+// Classify inspects a decoded delta against the graph it will be applied
+// to and reports the edit's expected blast radius. Only the narrowest
+// recognizable edit stays local: replacing the statements of an existing
+// operation node bound to a functional unit, with the same statement
+// count, same destination/source registers per statement, and data-op ↔
+// data-op (mov-ness preserved) — i.e. an operation retype like + → -.
+// Everything else — structural edits, retiming, arc rewires, condition
+// changes, register renames — is classified Global, because the
+// global-transform cascade observes it.
+//
+// Classify publishes obs counters: stage/dirty/global or
+// stage/dirty/local per call, and stage/dirty (total FUs marked).
+func Classify(g *cdfg.Graph, d *codec.DeltaDoc) Dirty {
+	var dirty Dirty
+	seen := map[string]bool{}
+	for _, op := range d.Ops {
+		fu, local := localOp(g, op)
+		if !local {
+			dirty.Global = true
+			break
+		}
+		if !seen[fu] {
+			seen[fu] = true
+			dirty.FUs = append(dirty.FUs, fu)
+		}
+	}
+	if dirty.Global {
+		dirty.FUs = nil
+		obs.Add("stage/dirty/global", 1)
+		return dirty
+	}
+	sort.Strings(dirty.FUs)
+	obs.Add("stage/dirty/local", 1)
+	obs.Add("stage/dirty", int64(len(dirty.FUs)))
+	return dirty
+}
+
+// localOp reports whether one edit op is confined to a single functional
+// unit's controller, and which unit.
+func localOp(g *cdfg.Graph, op codec.DeltaOp) (string, bool) {
+	if op.Op != codec.OpRetypeNode || op.Stmts == nil || op.ID == nil {
+		return "", false
+	}
+	n := g.Node(cdfg.NodeID(*op.ID))
+	if n == nil || n.Kind != cdfg.KindOp || n.FU == "" {
+		return "", false
+	}
+	if len(op.Stmts) != len(n.Stmts) {
+		return "", false
+	}
+	for i, sd := range op.Stmts {
+		s := n.Stmts[i]
+		if sd.Dst != s.Dst || sd.Src1 != s.Src1 || sd.Src2 != s.Src2 {
+			return "", false
+		}
+		// A mov ↔ data-op flip changes whether the node counts as FU work
+		// (cdfg.Node.UsesFU), which the transforms observe.
+		if (cdfg.Op(sd.Op) == cdfg.OpMov) != (s.Op == cdfg.OpMov) {
+			return "", false
+		}
+	}
+	return n.FU, true
+}

@@ -1,0 +1,134 @@
+package stage
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/codec"
+	"repro/internal/diffeq"
+)
+
+// opSwapDelta builds a retype op flipping node id's first statement
+// between + and -, the canonical local edit.
+func opSwapDelta(t *testing.T, g *cdfg.Graph, id int) *codec.DeltaDoc {
+	t.Helper()
+	n := g.Node(cdfg.NodeID(id))
+	if n == nil || len(n.Stmts) == 0 {
+		t.Fatalf("node %d unusable for an op swap", id)
+	}
+	s := n.Stmts[0]
+	op := "-"
+	if s.Op == cdfg.OpSub {
+		op = "+"
+	}
+	return &codec.DeltaDoc{
+		Version: codec.Version,
+		Kind:    codec.KindDelta,
+		Ops: []codec.DeltaOp{{
+			Op:    codec.OpRetypeNode,
+			ID:    &id,
+			Stmts: []codec.StmtDoc{{Dst: s.Dst, Op: op, Src1: s.Src1, Src2: s.Src2}},
+		}},
+	}
+}
+
+// findOpNode returns a KindOp node bound to a functional unit.
+func findOpNode(t *testing.T, g *cdfg.Graph) *cdfg.Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Kind == cdfg.KindOp && n.FU != "" && len(n.Stmts) > 0 &&
+			(n.Stmts[0].Op == cdfg.OpAdd || n.Stmts[0].Op == cdfg.OpSub) {
+			return n
+		}
+	}
+	t.Fatal("no FU-bound op node found")
+	return nil
+}
+
+// TestClassifyLocalOpSwap: an operation swap preserving shape is local
+// to its functional unit.
+func TestClassifyLocalOpSwap(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	n := findOpNode(t, g)
+	d := opSwapDelta(t, g, int(n.ID))
+	dirty := Classify(g, d)
+	if dirty.Global {
+		t.Fatal("op swap classified global")
+	}
+	if !reflect.DeepEqual(dirty.FUs, []string{n.FU}) {
+		t.Fatalf("dirty FUs %v, want [%s]", dirty.FUs, n.FU)
+	}
+}
+
+// TestClassifyGlobalEdits: anything beyond a shape-preserving retype is
+// a full recompute.
+func TestClassifyGlobalEdits(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	n := findOpNode(t, g)
+	id := int(n.ID)
+	s := n.Stmts[0]
+	order := 99
+	cond := "c"
+	one := 1
+	cases := map[string]codec.DeltaOp{
+		"retime":       {Op: codec.OpRetime, ID: &id, Order: &order},
+		"remove node":  {Op: codec.OpRemoveNode, ID: &id},
+		"rewire arc":   {Op: codec.OpRewireArc, ID: &one, From: &id},
+		"retype cond":  {Op: codec.OpRetypeNode, ID: &id, Cond: &cond},
+		"dst rename":   {Op: codec.OpRetypeNode, ID: &id, Stmts: []codec.StmtDoc{{Dst: "ZZ", Op: string(s.Op), Src1: s.Src1, Src2: s.Src2}}},
+		"src rename":   {Op: codec.OpRetypeNode, ID: &id, Stmts: []codec.StmtDoc{{Dst: s.Dst, Op: string(s.Op), Src1: "ZZ", Src2: s.Src2}}},
+		"to mov":       {Op: codec.OpRetypeNode, ID: &id, Stmts: []codec.StmtDoc{{Dst: s.Dst, Op: "mov", Src1: s.Src1}}},
+		"stmt count":   {Op: codec.OpRetypeNode, ID: &id, Stmts: []codec.StmtDoc{{Dst: s.Dst, Op: string(s.Op), Src1: s.Src1, Src2: s.Src2}, {Dst: s.Dst, Op: string(s.Op), Src1: s.Src1, Src2: s.Src2}}},
+		"unknown node": {Op: codec.OpRetypeNode, ID: &order, Stmts: []codec.StmtDoc{{Dst: s.Dst, Op: string(s.Op), Src1: s.Src1, Src2: s.Src2}}},
+	}
+	for name, op := range cases {
+		d := &codec.DeltaDoc{Version: codec.Version, Kind: codec.KindDelta, Ops: []codec.DeltaOp{op}}
+		dirty := Classify(g, d)
+		if !dirty.Global {
+			t.Errorf("%s: classified local (%v), want global", name, dirty.FUs)
+		}
+		if dirty.FUs != nil {
+			t.Errorf("%s: global classification kept FUs %v", name, dirty.FUs)
+		}
+	}
+}
+
+// TestClassifyMultiFUSorted: several local ops collect sorted unique
+// FUs; one global op poisons the whole delta.
+func TestClassifyMultiFU(t *testing.T) {
+	g := diffeq.Build(diffeq.DefaultParams())
+	var ops []codec.DeltaOp
+	fus := map[string]bool{}
+	for _, n := range g.Nodes() {
+		if n.Kind == cdfg.KindOp && n.FU != "" && len(n.Stmts) > 0 &&
+			(n.Stmts[0].Op == cdfg.OpAdd || n.Stmts[0].Op == cdfg.OpSub) {
+			d := opSwapDelta(t, g, int(n.ID))
+			ops = append(ops, d.Ops[0])
+			fus[n.FU] = true
+		}
+	}
+	if len(fus) < 2 {
+		t.Skip("need at least two FUs with swappable ops")
+	}
+	d := &codec.DeltaDoc{Version: codec.Version, Kind: codec.KindDelta, Ops: ops}
+	dirty := Classify(g, d)
+	if dirty.Global {
+		t.Fatal("all-local delta classified global")
+	}
+	if len(dirty.FUs) != len(fus) {
+		t.Fatalf("dirty FUs %v, want %d distinct units", dirty.FUs, len(fus))
+	}
+	for i := 1; i < len(dirty.FUs); i++ {
+		if dirty.FUs[i-1] >= dirty.FUs[i] {
+			t.Fatalf("dirty FUs not sorted unique: %v", dirty.FUs)
+		}
+	}
+
+	id := int(findOpNode(t, g).ID)
+	order := 5
+	d.Ops = append(d.Ops, codec.DeltaOp{Op: codec.OpRetime, ID: &id, Order: &order})
+	if dirty := Classify(g, d); !dirty.Global {
+		t.Error("delta with a retime op classified local")
+	}
+}

@@ -4,9 +4,10 @@
 //     walks the module tree, parsing only package clauses and their
 //     comments (no type checking, so it is fast and dependency-free).
 //  2. The user-facing library packages (internal/frontend, internal/gen,
-//     internal/search) must document every exported identifier — these
-//     are the packages the manual points new users at, so an
-//     undocumented export there is a doc regression, not a style nit.
+//     internal/search, internal/stage) must document every exported
+//     identifier — these are the packages the manual points new users
+//     at, so an undocumented export there is a doc regression, not a
+//     style nit.
 //
 // Run from the repo root, typically via scripts/verify.sh:
 //
@@ -33,6 +34,7 @@ var strictDirs = []string{
 	"internal/frontend",
 	"internal/gen",
 	"internal/search",
+	"internal/stage",
 }
 
 func main() {

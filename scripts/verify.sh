@@ -125,6 +125,20 @@ echo "$bench_out"
 		}
 		END { print "}}" }'
 } >>BENCH_covering.json
+echo "== incremental smoke (edit one FU of DIFFEQ, warm re-run must skip"
+echo "   cached stages and stay byte-identical to a cold run; appending"
+echo "   warm-vs-cold timings to BENCH_incremental.json)"
+incr_out=$(go run ./scripts/incrbench -bench diffeq)
+echo "$incr_out"
+{
+	printf '{"date":"%s","commit":"%s","smoke":%s}\n' \
+		"$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+		"$incr_out"
+} >>BENCH_incremental.json
+echo "== incremental equivalence (engine warm runs bit-identical to cold"
+echo "   pipeline runs on every benchmark + generated corpus)"
+go test -race -run 'TestIncrementalBenchmarkEdits|TestIncrementalDiskWarmStart|TestHTTPPatchEndToEnd' -count=1 . ./internal/service
 echo "== fleet smoke (3 asyncsynthd nodes: submit via one node, identical"
 echo "   result from every node, kill the owning node mid-run, re-verify"
 echo "   through a survivor)"
